@@ -1,0 +1,32 @@
+package subwarpsim
+
+import (
+	"subwarpsim/internal/isa"
+	"subwarpsim/internal/mem"
+)
+
+// Program is an executable instruction sequence in the simulator's
+// SASS-like ISA.
+type Program = isa.Program
+
+// Assemble parses textual assembly into a program. The syntax matches
+// Program.Disassemble plus labels and a ".regs N" directive; see the
+// internal/isa documentation and examples/customkernel:
+//
+//	prog, err := subwarpsim.Assemble("saxpy", `
+//	    .regs 16
+//	    S2R R0, SR3          // global thread id
+//	    SHL R1, R0, 2
+//	    LDG R2, [R1+4096] &wr=sb0
+//	    IMUL R3, R2, 3 &req=sb0
+//	    STG [R1+8192], R3
+//	    EXIT
+//	`)
+func Assemble(name, src string) (*Program, error) { return isa.Assemble(name, src) }
+
+// Memory is the functional backing store kernels execute against.
+type Memory = mem.Memory
+
+// NewMemory returns an empty memory; unwritten words read as a
+// deterministic hash of their address.
+func NewMemory() *Memory { return mem.NewMemory() }

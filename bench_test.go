@@ -1,0 +1,145 @@
+package subwarpsim
+
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation. Each benchmark runs the corresponding experiment and
+// reports its headline metric alongside wall-clock cost:
+//
+//	go test -bench=. -benchmem
+//
+// Benchmarks use the experiments' Quick mode (fewer waves/bounces) so a
+// full -bench=. pass stays in the tens of seconds; cmd/experiments
+// regenerates the full-size artifacts.
+
+import (
+	"testing"
+
+	"subwarpsim/internal/experiments"
+)
+
+func benchExperiment(b *testing.B, id string, metrics map[string]string) {
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	opts := experiments.Options{Quick: true}
+	for i := 0; i < b.N; i++ {
+		r, err := e.Run(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for key, unit := range metrics {
+			b.ReportMetric(r.Values[key]*100, unit)
+		}
+	}
+}
+
+// BenchmarkFig3 regenerates the baseline stall characterisation.
+func BenchmarkFig3(b *testing.B) {
+	benchExperiment(b, "fig3", map[string]string{
+		"mean/total":     "mean-stall-%",
+		"mean/divergent": "mean-divstall-%",
+	})
+}
+
+// BenchmarkTable3 regenerates the microbenchmark divergence sweep.
+func BenchmarkTable3(b *testing.B) {
+	benchExperiment(b, "table3", map[string]string{
+		"speedup_16": "speedup16x-x100",
+		"speedup_32": "speedup32x-x100",
+	})
+}
+
+// BenchmarkFig12a regenerates the per-application policy sweep.
+func BenchmarkFig12a(b *testing.B) {
+	benchExperiment(b, "fig12a", map[string]string{
+		"mean/Both,N>=0.5": "mean-speedup-%",
+		"BFV2/Both,N>=0.5": "bfv2-speedup-%",
+	})
+}
+
+// BenchmarkFig12b regenerates the stall-reduction analysis.
+func BenchmarkFig12b(b *testing.B) {
+	benchExperiment(b, "fig12b", map[string]string{
+		"mean/divergent": "divstall-reduction-%",
+		"mean/total":     "stall-reduction-%",
+	})
+}
+
+// BenchmarkFig13 regenerates the L1 miss latency sensitivity.
+func BenchmarkFig13(b *testing.B) {
+	benchExperiment(b, "fig13", map[string]string{
+		"lat300/BestOf": "best300-%",
+		"lat900/BestOf": "best900-%",
+	})
+}
+
+// BenchmarkFig14 regenerates the warp-slot sensitivity.
+func BenchmarkFig14(b *testing.B) {
+	benchExperiment(b, "fig14", map[string]string{
+		"mean/warps8":  "warps8-%",
+		"mean/warps32": "warps32-%",
+	})
+}
+
+// BenchmarkFig15 regenerates the TST-size sensitivity.
+func BenchmarkFig15(b *testing.B) {
+	benchExperiment(b, "fig15", map[string]string{
+		"mean/tst2":  "tst2-%",
+		"mean/tst32": "unlimited-%",
+	})
+}
+
+// BenchmarkICacheSizing regenerates the Section V-C4 study.
+func BenchmarkICacheSizing(b *testing.B) {
+	benchExperiment(b, "icache", map[string]string{
+		"mean/big":   "big-caches-%",
+		"mean/small": "small-caches-%",
+	})
+}
+
+// BenchmarkOrderAblation regenerates the activation-order ablation.
+func BenchmarkOrderAblation(b *testing.B) {
+	benchExperiment(b, "order", map[string]string{
+		"taken-first": "taken-first-%",
+		"random":      "random-%",
+	})
+}
+
+// BenchmarkYieldAblation regenerates the yield-threshold ablation.
+func BenchmarkYieldAblation(b *testing.B) {
+	benchExperiment(b, "yield", map[string]string{
+		"threshold1": "threshold1-%",
+		"threshold8": "threshold8-%",
+	})
+}
+
+// BenchmarkSimulationRate measures raw simulator throughput: simulated
+// cycles per wall second on one application baseline.
+func BenchmarkSimulationRate(b *testing.B) {
+	app, err := Application("Ctrl")
+	if err != nil {
+		b.Fatal(err)
+	}
+	app.NumWarps = 32
+	var cycles int64
+	for i := 0; i < b.N; i++ {
+		k, err := BuildMegakernel(app)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := Run(DefaultConfig(), k)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles += res.Counters.Cycles
+	}
+	b.ReportMetric(float64(cycles)/float64(b.N), "sim-cycles/op")
+}
+
+// BenchmarkDWSComparison regenerates the SI-vs-DWS extension study.
+func BenchmarkDWSComparison(b *testing.B) {
+	benchExperiment(b, "dws", map[string]string{
+		"mean/dws": "dws-mean-%",
+		"mean/si":  "si-mean-%",
+	})
+}

@@ -1,0 +1,72 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+//	experiments                  # run everything
+//	experiments -run fig12a      # one artifact
+//	experiments -run fig3,fig13  # a subset
+//	experiments -quick           # smaller workloads (smoke runs)
+//	experiments -o results.txt   # also write a report file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"subwarpsim/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "all", "comma-separated experiment IDs, or 'all'")
+	quick := flag.Bool("quick", false, "shrink workloads for a fast smoke run")
+	workers := flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+	outPath := flag.String("o", "", "also write the combined report to this file")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var selected []experiments.Experiment
+	if *run == "all" {
+		selected = experiments.All()
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			e, ok := experiments.ByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	opts := experiments.Options{Quick: *quick, Workers: *workers}
+	var combined strings.Builder
+	for _, e := range selected {
+		start := time.Now()
+		report, err := e.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		text := report.String()
+		fmt.Print(text)
+		fmt.Printf("(%s in %s)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		combined.WriteString(text)
+		combined.WriteString("\n")
+	}
+
+	if *outPath != "" {
+		if err := os.WriteFile(*outPath, []byte(combined.String()), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", *outPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("report written to %s\n", *outPath)
+	}
+}

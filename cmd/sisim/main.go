@@ -1,0 +1,125 @@
+// Command sisim runs one simulation and prints its statistics.
+//
+//	sisim -app BFV1                       # baseline
+//	sisim -app BFV1 -si -yield            # Both, N>=0.5
+//	sisim -app Ctrl -si -trigger any      # SOS, N>0
+//	sisim -microbench 4                   # 8-way divergence microbenchmark
+//	sisim -app MW -si -latency 900 -maxsubwarps 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"subwarpsim"
+)
+
+func main() {
+	app := flag.String("app", "", "application trace name (AV1..MW); see -listapps")
+	micro := flag.Int("microbench", 0, "run the microbenchmark with this subwarp size (1..32)")
+	si := flag.Bool("si", false, "enable Subwarp Interleaving")
+	dws := flag.Bool("dws", false, "model Dynamic Warp Subdivision instead of SI")
+	yield := flag.Bool("yield", false, "enable subwarp-yield (the paper's 'Both' mode)")
+	trigger := flag.String("trigger", "half", "select trigger: any (N>0), half (N>=0.5), all (N=1)")
+	latency := flag.Int("latency", 600, "L1 miss latency in cycles")
+	warpSlots := flag.Int("warpslots", 8, "warp slots per processing block (2, 4, 8)")
+	maxSubwarps := flag.Int("maxsubwarps", 0, "TST entries / subwarps per warp (0 = unlimited)")
+	order := flag.String("order", "taken", "divergent path order: taken, fallthrough, largest, random")
+	listApps := flag.Bool("listapps", false, "list application traces and exit")
+	verbose := flag.Bool("v", false, "print the full counter set")
+	flag.Parse()
+
+	if *listApps {
+		for _, a := range subwarpsim.Applications() {
+			fmt.Printf("%-6s %-24s %-5s regs=%d warps=%d shaders=%d\n",
+				a.Name, a.App, a.Effect, a.RegsPerThread, a.NumWarps, a.Shaders)
+		}
+		return
+	}
+
+	cfg := subwarpsim.DefaultConfig()
+	cfg.L1MissLatency = *latency
+	cfg.WarpSlotsPerBlock = *warpSlots
+	switch strings.ToLower(*order) {
+	case "taken":
+		cfg.Order = subwarpsim.OrderTakenFirst
+	case "fallthrough":
+		cfg.Order = subwarpsim.OrderFallthroughFirst
+	case "largest":
+		cfg.Order = subwarpsim.OrderLargestFirst
+	case "random":
+		cfg.Order = subwarpsim.OrderRandom
+	default:
+		fail("unknown -order %q", *order)
+	}
+	if *dws {
+		cfg = cfg.WithDWS()
+	} else if *si {
+		var trig subwarpsim.SelectTrigger
+		switch strings.ToLower(*trigger) {
+		case "any":
+			trig = subwarpsim.TriggerAnyStalled
+		case "half":
+			trig = subwarpsim.TriggerHalfStalled
+		case "all":
+			trig = subwarpsim.TriggerAllStalled
+		default:
+			fail("unknown -trigger %q", *trigger)
+		}
+		cfg = cfg.WithSI(*yield, trig)
+		cfg.SI.MaxSubwarps = *maxSubwarps
+	}
+
+	var kernel *subwarpsim.Kernel
+	var err error
+	switch {
+	case *micro > 0:
+		kernel, err = subwarpsim.BuildMicrobenchmark(subwarpsim.DefaultMicrobenchmark(*micro))
+	case *app != "":
+		var profile subwarpsim.AppProfile
+		profile, err = subwarpsim.Application(*app)
+		if err == nil {
+			kernel, err = subwarpsim.BuildMegakernel(profile)
+		}
+	default:
+		fail("choose a workload: -app <name> or -microbench <subwarp size>")
+	}
+	if err != nil {
+		fail("%v", err)
+	}
+
+	res, err := subwarpsim.Run(cfg, kernel)
+	if err != nil {
+		fail("%v", err)
+	}
+
+	c := res.Counters
+	d := res.Derived()
+	fmt.Printf("kernel    %s\n", kernel.Program.Name)
+	fmt.Printf("config    %s, L1 miss %d cy, %d warp slots/block\n",
+		cfg.PolicyName(), cfg.L1MissLatency, cfg.WarpSlotsPerBlock)
+	fmt.Printf("cycles    %d\n", c.Cycles)
+	fmt.Printf("instrs    %d (IPC/block %.3f, SIMT efficiency %.1f%%)\n",
+		c.IssuedInstrs, d.IPC, d.SIMTEfficiency*100)
+	fmt.Printf("stalls    %.1f%% of time exposed on loads (%.1f%% in divergent code)\n",
+		d.ExposedStallFrac*100, d.DivergentStallFrac*100)
+	fmt.Printf("fetch     %.1f%% of time exposed on instruction fetch\n", d.FetchStallFrac*100)
+	fmt.Printf("L1D       %.1f%% miss (%d/%d lines)\n", d.L1DMissRate*100, c.L1DMisses, c.L1DAccesses)
+	if c.RTTraces > 0 {
+		fmt.Printf("RT core   %d traces, %.1f BVH steps/ray\n", c.RTTraces, d.AvgTraversalSteps)
+	}
+	if cfg.SI.Enabled {
+		fmt.Printf("SI        %d stalls, %d wakeups, %d selects, %d yields, %d TST overflows\n",
+			c.SubwarpStalls, c.SubwarpWakeups, c.SubwarpSelects, c.SubwarpYields, c.TSTOverflow)
+	}
+	if *verbose {
+		fmt.Printf("\ncounters  %+v\n", c)
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

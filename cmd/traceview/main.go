@@ -1,0 +1,85 @@
+// Command traceview inspects a generated workload: disassembly, static
+// footprint, scene statistics, and the per-warp divergence profile
+// produced by actually tracing the first warps' rays through the BVH.
+//
+//	traceview -app BFV1
+//	traceview -app Ctrl -disasm
+//	traceview -microbench 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"subwarpsim"
+)
+
+func main() {
+	app := flag.String("app", "", "application trace name (AV1..MW)")
+	micro := flag.Int("microbench", 0, "microbenchmark subwarp size (1..32)")
+	disasm := flag.Bool("disasm", false, "print the full program disassembly")
+	warps := flag.Int("warps", 8, "warps to profile for divergence")
+	flag.Parse()
+
+	var kernel *subwarpsim.Kernel
+	var err error
+	switch {
+	case *micro > 0:
+		kernel, err = subwarpsim.BuildMicrobenchmark(subwarpsim.DefaultMicrobenchmark(*micro))
+	case *app != "":
+		var p subwarpsim.AppProfile
+		if p, err = subwarpsim.Application(*app); err == nil {
+			kernel, err = subwarpsim.BuildMegakernel(p)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "choose -app <name> or -microbench <subwarp size>")
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	prog := kernel.Program
+	fmt.Printf("kernel      %s\n", prog.Name)
+	fmt.Printf("instrs      %d (%.1f KB encoded, %d regs/thread)\n",
+		prog.Len(), float64(prog.StaticFootprintBytes(8))/1024, prog.RegsPerThread)
+	fmt.Printf("warps       %d (%d threads)\n", kernel.NumWarps, kernel.NumWarps*32)
+
+	if kernel.BVH != nil {
+		fmt.Printf("scene       %s\n", kernel.BVH.Stats())
+		profileDivergence(kernel, *warps)
+	}
+
+	if *disasm {
+		fmt.Println()
+		fmt.Print(prog.Disassemble())
+	}
+}
+
+// profileDivergence traces each warp's 32 primary rays and reports how
+// many distinct shaders the warp dispatches — the subwarp count SI can
+// exploit (Fig. 5's splintering).
+func profileDivergence(kernel *subwarpsim.Kernel, warps int) {
+	hist := make(map[int]int)
+	for w := 0; w < warps && w < kernel.NumWarps; w++ {
+		shaders := make(map[int]bool)
+		for lane := 0; lane < 32; lane++ {
+			ray := kernel.RayGen(uint32(w*32 + lane))
+			hit := kernel.BVH.Traverse(ray, 1e-4, subwarpsim.InfinityT)
+			mat := subwarpsim.MissMaterial
+			if hit.Ok {
+				mat = hit.Material
+			}
+			shaders[mat] = true
+		}
+		hist[len(shaders)]++
+	}
+	fmt.Printf("divergence  primary-ray shader counts per warp (first %d warps):\n", warps)
+	for ways := 1; ways <= 32; ways++ {
+		if n := hist[ways]; n > 0 {
+			fmt.Printf("            %2d-way: %d warps\n", ways, n)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module subwarpsim
+
+go 1.22

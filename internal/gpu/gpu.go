@@ -1,0 +1,92 @@
+// Package gpu assembles streaming multiprocessors into a whole device
+// and launches kernels across them, mirroring the paper's simulated
+// configuration of Table I (2 SMs of 4 processing blocks each).
+package gpu
+
+import (
+	"fmt"
+
+	"subwarpsim/internal/config"
+	"subwarpsim/internal/sm"
+	"subwarpsim/internal/stats"
+)
+
+// MaxCycles bounds a single simulation; kernels that exceed it are
+// reported as errors rather than hanging the harness. It is a variable
+// so tests can tighten it.
+var MaxCycles = int64(200_000_000)
+
+// Result is the outcome of one kernel launch.
+type Result struct {
+	// Config the launch ran under.
+	Config config.Config
+	// Counters merged across all SMs and processing blocks.
+	Counters stats.Counters
+	// Blocks is the total processing block count, the normalization
+	// denominator for per-cycle fractions.
+	Blocks int
+}
+
+// Derived computes the normalized metrics for this result.
+func (r Result) Derived() stats.Derived {
+	return r.Counters.Derive(r.Blocks)
+}
+
+// Run launches the kernel on a freshly constructed GPU with the given
+// configuration and simulates to completion.
+//
+// Warps distribute round-robin across SMs, and within an SM across its
+// processing blocks; warps beyond the register-limited occupancy run as
+// follow-on waves. SMs simulate sequentially (they share only the
+// functional memory image), keeping runs deterministic.
+func Run(cfg config.Config, kernel *sm.Kernel) (Result, error) {
+	res := Result{Config: cfg, Blocks: cfg.NumSMs * cfg.BlocksPerSM}
+	if err := cfg.Validate(); err != nil {
+		return res, err
+	}
+	if err := kernel.Validate(); err != nil {
+		return res, err
+	}
+
+	sms := make([]*sm.SM, cfg.NumSMs)
+	for i := range sms {
+		s, err := sm.NewSM(i, cfg, kernel)
+		if err != nil {
+			return res, err
+		}
+		sms[i] = s
+	}
+
+	perSMSeq := make([]int, cfg.NumSMs)
+	for w := 0; w < kernel.NumWarps; w++ {
+		smIdx := w % cfg.NumSMs
+		ctaID := w / kernel.WarpsPerCTA
+		warpInCTA := w % kernel.WarpsPerCTA
+		sms[smIdx].Admit(perSMSeq[smIdx], w, ctaID, warpInCTA)
+		perSMSeq[smIdx]++
+	}
+
+	for i, s := range sms {
+		c, err := s.Run(MaxCycles)
+		if err != nil {
+			return res, fmt.Errorf("gpu: SM %d: %w", i, err)
+		}
+		res.Counters.Merge(c)
+	}
+	return res, nil
+}
+
+// Compare runs the kernel under a baseline and a test configuration on
+// identical fresh state and returns both results with the speedup of
+// test over baseline.
+func Compare(base, test config.Config, mkKernel func() *sm.Kernel) (Result, Result, float64, error) {
+	rb, err := Run(base, mkKernel())
+	if err != nil {
+		return rb, Result{}, 0, err
+	}
+	rt, err := Run(test, mkKernel())
+	if err != nil {
+		return rb, rt, 0, err
+	}
+	return rb, rt, stats.Speedup(rb.Counters, rt.Counters), nil
+}

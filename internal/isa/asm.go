@@ -1,0 +1,574 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble parses textual assembly into a Program. The syntax is the
+// disassembler's output plus labels and directives, so
+// Assemble(name, p.Disassemble()) round-trips any program:
+//
+//	.regs 40            // declared register footprint
+//	start:
+//	    S2R R0, SR0     // special register read
+//	    MOVI R1, 128
+//	    SHL R1, R0, 7
+//	    LDG R2, [R1+0] &wr=sb0
+//	    IADD R3, R2, R2 &req=sb0
+//	    ISETP.LT P0, R0, 16
+//	    BSSY B0, join
+//	    @P0 BRA start   // predicated branch (also @!P0)
+//	join:
+//	    BSYNC B0
+//	    EXIT
+//
+// Branch and BSSY targets may be labels or absolute instruction
+// indices. Comments run from "//" or "#" to end of line.
+func Assemble(name, src string) (*Program, error) {
+	b := NewBuilder(name)
+	for num, raw := range strings.Split(src, "\n") {
+		line := stripComment(raw)
+		if line == "" {
+			continue
+		}
+		if err := asmLine(b, line); err != nil {
+			return nil, fmt.Errorf("isa: line %d: %w (%q)", num+1, err, strings.TrimSpace(raw))
+		}
+	}
+	return b.Build()
+}
+
+func stripComment(line string) string {
+	if i := strings.Index(line, "//"); i >= 0 {
+		line = line[:i]
+	}
+	if i := strings.Index(line, "#"); i >= 0 {
+		line = line[:i]
+	}
+	return strings.TrimSpace(line)
+}
+
+// asmLine assembles one non-empty line.
+func asmLine(b *Builder, line string) error {
+	// Directives.
+	if strings.HasPrefix(line, ".regs") {
+		n, err := strconv.Atoi(strings.TrimSpace(strings.TrimPrefix(line, ".regs")))
+		if err != nil || n <= 0 {
+			return fmt.Errorf("bad .regs directive")
+		}
+		b.SetRegsPerThread(n)
+		return nil
+	}
+	// Leading PC prefix from disassembly ("  12: OP ...").
+	if i := strings.Index(line, ":"); i >= 0 {
+		head := strings.TrimSpace(line[:i])
+		if _, err := strconv.Atoi(head); err == nil {
+			line = strings.TrimSpace(line[i+1:])
+			if line == "" {
+				return fmt.Errorf("instruction index without instruction")
+			}
+		} else if !strings.ContainsAny(head, " \t") && i == len(line)-1 {
+			// Label definition.
+			b.Label(head)
+			return nil
+		}
+	}
+
+	// Scoreboard annotations.
+	wr, req := NoScoreboard, NoScoreboard
+	var err error
+	if line, wr, err = takeAnnot(line, "&wr=sb"); err != nil {
+		return err
+	}
+	if line, req, err = takeAnnot(line, "&req=sb"); err != nil {
+		return err
+	}
+
+	// Predicate guard "@P0" / "@!P3".
+	pred, predNeg := uint8(PT), false
+	if strings.HasPrefix(line, "@") {
+		fields := strings.SplitN(line, " ", 2)
+		if len(fields) != 2 {
+			return fmt.Errorf("predicate guard without instruction")
+		}
+		g := strings.TrimPrefix(fields[0], "@")
+		if strings.HasPrefix(g, "!") {
+			predNeg = true
+			g = g[1:]
+		}
+		p, perr := parseIdx(g, "P", NumPreds)
+		if perr != nil {
+			return perr
+		}
+		pred = p
+		line = strings.TrimSpace(fields[1])
+	}
+
+	mnemonic, rest, _ := strings.Cut(line, " ")
+	mnemonic = strings.ToUpper(mnemonic)
+	ops := splitOperands(rest)
+
+	in, target, err := parseInstr(mnemonic, ops)
+	if err != nil {
+		return err
+	}
+	in.WrScbd, in.ReqScbd = int8(wr), int8(req)
+	if wr >= 0 && !in.Op.IsLongLatency() {
+		return fmt.Errorf("&wr on %s", in.Op)
+	}
+
+	switch in.Op {
+	case BRA:
+		in.Pred, in.PredNeg = pred, predNeg
+		b.fixBranch(in, target)
+	case BSSY:
+		b.fixBssy(in, target)
+	default:
+		if pred != PT || predNeg {
+			return fmt.Errorf("predicate guard only valid on BRA")
+		}
+		b.Raw(in)
+	}
+	return nil
+}
+
+// takeAnnot strips an "&wr=sbN" style annotation, returning its value.
+func takeAnnot(line, prefix string) (string, int, error) {
+	i := strings.Index(line, prefix)
+	if i < 0 {
+		return line, NoScoreboard, nil
+	}
+	rest := line[i+len(prefix):]
+	j := 0
+	for j < len(rest) && rest[j] >= '0' && rest[j] <= '9' {
+		j++
+	}
+	if j == 0 {
+		return line, 0, fmt.Errorf("malformed %q annotation", prefix)
+	}
+	n, _ := strconv.Atoi(rest[:j])
+	if n >= NumBarriers {
+		return line, 0, fmt.Errorf("scoreboard sb%d out of range", n)
+	}
+	return strings.TrimSpace(line[:i] + rest[j:]), n, nil
+}
+
+func splitOperands(s string) []string {
+	var ops []string
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f != "" {
+			ops = append(ops, f)
+		}
+	}
+	return ops
+}
+
+func parseIdx(tok, prefix string, limit int) (uint8, error) {
+	if !strings.HasPrefix(tok, prefix) {
+		return 0, fmt.Errorf("expected %s register, got %q", prefix, tok)
+	}
+	n, err := strconv.Atoi(tok[len(prefix):])
+	if err != nil || n < 0 || n >= limit {
+		return 0, fmt.Errorf("bad %s register %q", prefix, tok)
+	}
+	return uint8(n), nil
+}
+
+func parseImm(tok string) (int32, error) {
+	n, err := strconv.ParseInt(tok, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", tok)
+	}
+	return int32(n), nil
+}
+
+// parseMem parses "[Ra+imm]" or "[Ra+Rb+imm]"; imm is optional.
+func parseMem(tok string) (ra, rb uint8, hasRB bool, imm int32, err error) {
+	if !strings.HasPrefix(tok, "[") || !strings.HasSuffix(tok, "]") {
+		return 0, 0, false, 0, fmt.Errorf("expected address operand, got %q", tok)
+	}
+	parts := strings.Split(tok[1:len(tok)-1], "+")
+	if len(parts) == 0 || len(parts) > 3 {
+		return 0, 0, false, 0, fmt.Errorf("bad address %q", tok)
+	}
+	if ra, err = parseIdx(strings.TrimSpace(parts[0]), "R", NumRegs); err != nil {
+		return
+	}
+	rest := parts[1:]
+	if len(rest) > 0 && strings.HasPrefix(strings.TrimSpace(rest[0]), "R") {
+		if rb, err = parseIdx(strings.TrimSpace(rest[0]), "R", NumRegs); err != nil {
+			return
+		}
+		hasRB = true
+		rest = rest[1:]
+	}
+	if len(rest) == 1 {
+		if imm, err = parseImm(strings.TrimSpace(rest[0])); err != nil {
+			return
+		}
+	} else if len(rest) > 1 {
+		err = fmt.Errorf("bad address %q", tok)
+	}
+	return
+}
+
+// parseInstr builds the instruction; branch-like ops also return their
+// textual target for fixup.
+func parseInstr(mnemonic string, ops []string) (Instr, string, error) {
+	need := func(n int) error {
+		if len(ops) != n {
+			return fmt.Errorf("%s wants %d operands, got %d", mnemonic, n, len(ops))
+		}
+		return nil
+	}
+
+	// Compare-suffixed mnemonics: ISETP.LT etc.
+	if cmpName, ok := strings.CutPrefix(mnemonic, "ISETP."); ok {
+		cmp, err := parseCmp(cmpName)
+		if err != nil {
+			return Instr{}, "", err
+		}
+		if err := need(3); err != nil {
+			return Instr{}, "", err
+		}
+		pd, err := parseIdx(ops[0], "P", NumPreds)
+		if err != nil {
+			return Instr{}, "", err
+		}
+		ra, err := parseIdx(ops[1], "R", NumRegs)
+		if err != nil {
+			return Instr{}, "", err
+		}
+		in := MakeInstr(ISETPI)
+		in.Cmp, in.Dst, in.SrcA = cmp, pd, ra
+		if strings.HasPrefix(ops[2], "R") {
+			rb, err := parseIdx(ops[2], "R", NumRegs)
+			if err != nil {
+				return Instr{}, "", err
+			}
+			in.Op, in.SrcB = ISETP, rb
+		} else {
+			imm, err := parseImm(ops[2])
+			if err != nil {
+				return Instr{}, "", err
+			}
+			in.Imm = imm
+		}
+		return in, "", nil
+	}
+
+	switch mnemonic {
+	case "NOP", "YIELD", "EXIT":
+		if err := need(0); err != nil {
+			return Instr{}, "", err
+		}
+		op := map[string]Opcode{"NOP": NOP, "YIELD": YIELD, "EXIT": EXIT}[mnemonic]
+		return MakeInstr(op), "", nil
+
+	case "MOVI":
+		if err := need(2); err != nil {
+			return Instr{}, "", err
+		}
+		rd, err := parseIdx(ops[0], "R", NumRegs)
+		if err != nil {
+			return Instr{}, "", err
+		}
+		imm, err := parseImm(ops[1])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		in := MakeInstr(MOVI)
+		in.Dst, in.Imm = rd, imm
+		return in, "", nil
+
+	case "MOV", "MUFU":
+		if err := need(2); err != nil {
+			return Instr{}, "", err
+		}
+		rd, err := parseIdx(ops[0], "R", NumRegs)
+		if err != nil {
+			return Instr{}, "", err
+		}
+		ra, err := parseIdx(ops[1], "R", NumRegs)
+		if err != nil {
+			return Instr{}, "", err
+		}
+		in := MakeInstr(map[string]Opcode{"MOV": MOV, "MUFU": MUFU}[mnemonic])
+		in.Dst, in.SrcA = rd, ra
+		return in, "", nil
+
+	case "S2R":
+		if err := need(2); err != nil {
+			return Instr{}, "", err
+		}
+		rd, err := parseIdx(ops[0], "R", NumRegs)
+		if err != nil {
+			return Instr{}, "", err
+		}
+		sr, err := parseIdx(ops[1], "SR", 4)
+		if err != nil {
+			return Instr{}, "", err
+		}
+		in := MakeInstr(S2R)
+		in.Dst, in.SrcA = rd, sr
+		return in, "", nil
+
+	case "IADD", "IMUL", "IAND", "IOR", "IXOR", "FADD", "FMUL", "SHL", "SHR":
+		if err := need(3); err != nil {
+			return Instr{}, "", err
+		}
+		rd, err := parseIdx(ops[0], "R", NumRegs)
+		if err != nil {
+			return Instr{}, "", err
+		}
+		ra, err := parseIdx(ops[1], "R", NumRegs)
+		if err != nil {
+			return Instr{}, "", err
+		}
+		if strings.HasPrefix(ops[2], "R") {
+			rb, err := parseIdx(ops[2], "R", NumRegs)
+			if err != nil {
+				return Instr{}, "", err
+			}
+			var op Opcode
+			switch mnemonic {
+			case "IADD":
+				op = IADD
+			case "IMUL":
+				op = IMUL
+			case "IAND":
+				op = IAND
+			case "IOR":
+				op = IOR
+			case "IXOR":
+				op = IXOR
+			case "FADD":
+				op = FADD
+			case "FMUL":
+				op = FMUL
+			default:
+				return Instr{}, "", fmt.Errorf("%s requires an immediate third operand", mnemonic)
+			}
+			in := MakeInstr(op)
+			in.Dst, in.SrcA, in.SrcB = rd, ra, rb
+			return in, "", nil
+		}
+		imm, err := parseImm(ops[2])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		var op Opcode
+		switch mnemonic {
+		case "IADD":
+			op = IADDI
+		case "IMUL":
+			op = IMULI
+		case "SHL":
+			op = SHL
+		case "SHR":
+			op = SHR
+		default:
+			return Instr{}, "", fmt.Errorf("%s does not take an immediate", mnemonic)
+		}
+		in := MakeInstr(op)
+		in.Dst, in.SrcA, in.Imm = rd, ra, imm
+		return in, "", nil
+
+	case "IADDI", "IMULI":
+		if err := need(3); err != nil {
+			return Instr{}, "", err
+		}
+		rd, err := parseIdx(ops[0], "R", NumRegs)
+		if err != nil {
+			return Instr{}, "", err
+		}
+		ra, err := parseIdx(ops[1], "R", NumRegs)
+		if err != nil {
+			return Instr{}, "", err
+		}
+		imm, err := parseImm(ops[2])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		in := MakeInstr(map[string]Opcode{"IADDI": IADDI, "IMULI": IMULI}[mnemonic])
+		in.Dst, in.SrcA, in.Imm = rd, ra, imm
+		return in, "", nil
+
+	case "FFMA":
+		if err := need(4); err != nil {
+			return Instr{}, "", err
+		}
+		var regs [4]uint8
+		for i, op := range ops {
+			r, err := parseIdx(op, "R", NumRegs)
+			if err != nil {
+				return Instr{}, "", err
+			}
+			regs[i] = r
+		}
+		in := MakeInstr(FFMA)
+		in.Dst, in.SrcA, in.SrcB, in.SrcC = regs[0], regs[1], regs[2], regs[3]
+		return in, "", nil
+
+	case "LDG", "TLD":
+		if err := need(2); err != nil {
+			return Instr{}, "", err
+		}
+		rd, err := parseIdx(ops[0], "R", NumRegs)
+		if err != nil {
+			return Instr{}, "", err
+		}
+		ra, _, hasRB, imm, err := parseMem(ops[1])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		if hasRB {
+			return Instr{}, "", fmt.Errorf("%s takes a single base register", mnemonic)
+		}
+		in := MakeInstr(map[string]Opcode{"LDG": LDG, "TLD": TLD}[mnemonic])
+		in.Dst, in.SrcA, in.Imm = rd, ra, imm
+		return in, "", nil
+
+	case "TEX":
+		if err := need(2); err != nil {
+			return Instr{}, "", err
+		}
+		rd, err := parseIdx(ops[0], "R", NumRegs)
+		if err != nil {
+			return Instr{}, "", err
+		}
+		ra, rb, hasRB, imm, err := parseMem(ops[1])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		if !hasRB {
+			return Instr{}, "", fmt.Errorf("TEX wants [Ra+Rb+imm]")
+		}
+		in := MakeInstr(TEX)
+		in.Dst, in.SrcA, in.SrcB, in.Imm = rd, ra, rb, imm
+		return in, "", nil
+
+	case "STG":
+		if err := need(2); err != nil {
+			return Instr{}, "", err
+		}
+		ra, _, hasRB, imm, err := parseMem(ops[0])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		if hasRB {
+			return Instr{}, "", fmt.Errorf("STG takes a single base register")
+		}
+		rb, err := parseIdx(ops[1], "R", NumRegs)
+		if err != nil {
+			return Instr{}, "", err
+		}
+		in := MakeInstr(STG)
+		in.SrcA, in.Imm, in.SrcB = ra, imm, rb
+		return in, "", nil
+
+	case "TRACE":
+		if err := need(2); err != nil {
+			return Instr{}, "", err
+		}
+		rd, err := parseIdx(ops[0], "R", NumRegs)
+		if err != nil {
+			return Instr{}, "", err
+		}
+		ra, err := parseIdx(ops[1], "R", NumRegs)
+		if err != nil {
+			return Instr{}, "", err
+		}
+		in := MakeInstr(TRACE)
+		in.Dst, in.SrcA = rd, ra
+		return in, "", nil
+
+	case "BRA":
+		if err := need(1); err != nil {
+			return Instr{}, "", err
+		}
+		return MakeInstr(BRA), ops[0], nil
+
+	case "BRX":
+		if err := need(1); err != nil {
+			return Instr{}, "", err
+		}
+		ra, err := parseIdx(ops[0], "R", NumRegs)
+		if err != nil {
+			return Instr{}, "", err
+		}
+		in := MakeInstr(BRX)
+		in.SrcA = ra
+		return in, "", nil
+
+	case "BSSY":
+		if err := need(2); err != nil {
+			return Instr{}, "", err
+		}
+		bar, err := parseIdx(ops[0], "B", NumBarriers)
+		if err != nil {
+			return Instr{}, "", err
+		}
+		in := MakeInstr(BSSY)
+		in.Barrier = bar
+		return in, ops[1], nil
+
+	case "BSYNC":
+		if err := need(1); err != nil {
+			return Instr{}, "", err
+		}
+		bar, err := parseIdx(ops[0], "B", NumBarriers)
+		if err != nil {
+			return Instr{}, "", err
+		}
+		in := MakeInstr(BSYNC)
+		in.Barrier = bar
+		return in, "", nil
+	}
+	return Instr{}, "", fmt.Errorf("unknown mnemonic %q", mnemonic)
+}
+
+func parseCmp(name string) (CmpOp, error) {
+	switch name {
+	case "EQ":
+		return CmpEQ, nil
+	case "NE":
+		return CmpNE, nil
+	case "LT":
+		return CmpLT, nil
+	case "LE":
+		return CmpLE, nil
+	case "GT":
+		return CmpGT, nil
+	case "GE":
+		return CmpGE, nil
+	}
+	return 0, fmt.Errorf("unknown comparison %q", name)
+}
+
+// fixBranch appends a predicated branch whose target is either a label
+// or an absolute instruction index.
+func (b *Builder) fixBranch(in Instr, target string) {
+	if pc, err := strconv.Atoi(target); err == nil {
+		in.Target = pc
+		b.Raw(in)
+		return
+	}
+	b.fixups = append(b.fixups, fixup{pc: len(b.code), label: target})
+	b.emit(in)
+}
+
+// fixBssy appends a BSSY whose reconvergence target is a label or an
+// absolute instruction index.
+func (b *Builder) fixBssy(in Instr, target string) {
+	if pc, err := strconv.Atoi(target); err == nil {
+		in.Target = pc
+		b.Raw(in)
+		return
+	}
+	b.fixups = append(b.fixups, fixup{pc: len(b.code), label: target})
+	b.emit(in)
+}

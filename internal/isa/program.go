@@ -1,0 +1,141 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Program is an executable sequence of instructions. Instruction
+// indices are the simulator's program counters; the encoded byte
+// address of instruction i is i*InstrBytes (for instruction-cache
+// modeling).
+type Program struct {
+	// Name identifies the kernel in reports.
+	Name string
+	// Code is the instruction stream.
+	Code []Instr
+	// RegsPerThread is the kernel's declared register footprint, which
+	// determines occupancy (Section II-B: the megakernel must reserve
+	// the maximum across all shader targets).
+	RegsPerThread int
+}
+
+// Len returns the number of instructions.
+func (p *Program) Len() int { return len(p.Code) }
+
+// At returns the instruction at pc. It panics if pc is out of range,
+// which in the simulator indicates control flow escaped the program.
+func (p *Program) At(pc int) Instr {
+	if pc < 0 || pc >= len(p.Code) {
+		panic(fmt.Sprintf("isa: PC %d out of range for %q (%d instrs)", pc, p.Name, len(p.Code)))
+	}
+	return p.Code[pc]
+}
+
+// Validate checks structural well-formedness: opcodes defined, branch
+// and reconvergence targets in range, register/predicate/barrier/
+// scoreboard indices in range, scoreboard annotations only where they
+// make sense, and a terminating EXIT reachable by fallthrough.
+func (p *Program) Validate() error {
+	if len(p.Code) == 0 {
+		return fmt.Errorf("isa: program %q is empty", p.Name)
+	}
+	for pc, in := range p.Code {
+		if err := p.validateInstr(pc, in); err != nil {
+			return err
+		}
+	}
+	last := p.Code[len(p.Code)-1]
+	switch last.Op {
+	case EXIT, BRA, BRX:
+	default:
+		return fmt.Errorf("isa: program %q falls off the end (last op %v)", p.Name, last.Op)
+	}
+	return nil
+}
+
+func (p *Program) validateInstr(pc int, in Instr) error {
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("isa: %q pc %d (%s): "+format,
+			append([]any{p.Name, pc, in.Op}, args...)...)
+	}
+	if !in.Op.Valid() {
+		return fail("undefined opcode")
+	}
+	if in.Op.WritesReg() && in.Op != TRACE {
+		if int(in.Dst) >= NumRegs {
+			return fail("dst R%d out of range", in.Dst)
+		}
+	}
+	if in.Op == ISETP || in.Op == ISETPI {
+		if int(in.Dst) >= NumPreds {
+			return fail("dst P%d out of range", in.Dst)
+		}
+		if in.Dst == PT {
+			return fail("cannot write PT")
+		}
+	}
+	if int(in.SrcA) >= NumRegs || int(in.SrcB) >= NumRegs || int(in.SrcC) >= NumRegs {
+		return fail("source register out of range")
+	}
+	if int(in.Pred) >= NumPreds {
+		return fail("predicate P%d out of range", in.Pred)
+	}
+	switch in.Op {
+	case BRA, BSSY:
+		if in.Target < 0 || in.Target >= len(p.Code) {
+			return fail("target %d out of range", in.Target)
+		}
+	}
+	if in.Op == BSSY || in.Op == BSYNC {
+		if int(in.Barrier) >= NumBarriers {
+			return fail("barrier B%d out of range", in.Barrier)
+		}
+	}
+	if in.WrScbd != NoScoreboard {
+		if !in.Op.IsLongLatency() {
+			return fail("&wr on non-long-latency op")
+		}
+		if in.WrScbd < 0 || int(in.WrScbd) >= NumBarriers {
+			return fail("&wr=sb%d out of range", in.WrScbd)
+		}
+	} else if in.Op.IsLongLatency() && in.Op != STG {
+		return fail("long-latency op missing &wr scoreboard")
+	}
+	if in.ReqScbd != NoScoreboard && (in.ReqScbd < 0 || int(in.ReqScbd) >= NumBarriers) {
+		return fail("&req=sb%d out of range", in.ReqScbd)
+	}
+	return nil
+}
+
+// Disassemble renders the whole program, one instruction per line with
+// PC prefixes.
+func (p *Program) Disassemble() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "// %s (%d instrs, %d regs/thread)\n", p.Name, len(p.Code), p.RegsPerThread)
+	for pc, in := range p.Code {
+		fmt.Fprintf(&b, "%4d: %s\n", pc, in)
+	}
+	return b.String()
+}
+
+// StaticFootprintBytes returns the encoded code size, used to reason
+// about instruction-cache pressure.
+func (p *Program) StaticFootprintBytes(instrBytes int) int {
+	return len(p.Code) * instrBytes
+}
+
+// MaxScoreboard returns the highest scoreboard index referenced, or -1
+// if the program uses none.
+func (p *Program) MaxScoreboard() int {
+	max := -1
+	for _, in := range p.Code {
+		if int(in.WrScbd) > max {
+			max = int(in.WrScbd)
+		}
+		if int(in.ReqScbd) > max {
+			max = int(in.ReqScbd)
+		}
+	}
+	return max
+}

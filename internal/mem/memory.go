@@ -1,0 +1,47 @@
+package mem
+
+// Memory is the functional backing store for global and texture
+// address spaces. Timing comes from the fixed-latency stub in the SM
+// model; Memory only supplies values so that loads return deterministic
+// data and stores are visible to later loads.
+//
+// Unwritten locations read as a cheap deterministic hash of their
+// address, which gives workload generators "random-looking" but
+// reproducible data without materializing gigabytes.
+type Memory struct {
+	words map[uint64]uint32
+}
+
+// NewMemory returns an empty memory.
+func NewMemory() *Memory {
+	return &Memory{words: make(map[uint64]uint32)}
+}
+
+// align rounds addr down to a 4-byte word boundary.
+func align(addr uint64) uint64 { return addr &^ 3 }
+
+// Load returns the 32-bit word at addr (word-aligned).
+func (m *Memory) Load(addr uint64) uint32 {
+	a := align(addr)
+	if v, ok := m.words[a]; ok {
+		return v
+	}
+	return DefaultValue(a)
+}
+
+// Store writes a 32-bit word at addr (word-aligned).
+func (m *Memory) Store(addr uint64, v uint32) {
+	m.words[align(addr)] = v
+}
+
+// Written returns how many distinct words have been stored.
+func (m *Memory) Written() int { return len(m.words) }
+
+// DefaultValue is the deterministic content of unwritten memory:
+// a 32-bit mix of the address (splitmix-style), stable across runs.
+func DefaultValue(addr uint64) uint32 {
+	z := addr + 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return uint32(z ^ (z >> 31))
+}

@@ -1,0 +1,60 @@
+package rtcore
+
+// MissMaterial is the material index reported for rays that hit
+// nothing; the megakernel dispatches its miss shader on it.
+const MissMaterial = -1
+
+// RayGen produces the ray for a given ray ID. Workloads bind camera
+// rays and stochastically scattered bounce rays to IDs so the TRACE
+// instruction's operand (a ray ID register) fully determines the ray.
+type RayGen func(id uint32) Ray
+
+// Core models one SM's RT-core: the SM enqueues TraceRay operations and
+// the core answers after a latency proportional to the number of BVH
+// nodes the traversal visits. Results are memoized per ray ID, mirroring
+// that a given ray's traversal is deterministic.
+type Core struct {
+	bvh     *BVH
+	gen     RayGen
+	base    int64 // fixed overhead per trace (SM<->RT-core round trip)
+	perStep int64 // cycles per BVH node visit
+	cache   map[uint32]Hit
+
+	traces     int64
+	totalSteps int64
+}
+
+// NewCore builds an RT-core over the given hierarchy and ray generator.
+// baseLatency is the fixed round-trip cost and stepLatency the cycles
+// charged per traversal step.
+func NewCore(bvh *BVH, gen RayGen, baseLatency, stepLatency int64) *Core {
+	return &Core{
+		bvh:     bvh,
+		gen:     gen,
+		base:    baseLatency,
+		perStep: stepLatency,
+		cache:   make(map[uint32]Hit),
+	}
+}
+
+// Trace performs the traversal for rayID and returns the hit record
+// along with the modeled latency in cycles.
+func (c *Core) Trace(rayID uint32) (Hit, int64) {
+	hit, ok := c.cache[rayID]
+	if !ok {
+		hit = c.bvh.Traverse(c.gen(rayID), 1e-4, InfinityT)
+		c.cache[rayID] = hit
+	}
+	c.traces++
+	c.totalSteps += int64(hit.Steps)
+	return hit, c.base + c.perStep*int64(hit.Steps)
+}
+
+// Traces returns how many TraceRay operations were serviced.
+func (c *Core) Traces() int64 { return c.traces }
+
+// TotalSteps returns the cumulative BVH node visits across all traces.
+func (c *Core) TotalSteps() int64 { return c.totalSteps }
+
+// BVH exposes the hierarchy (for scene inspection tools).
+func (c *Core) BVH() *BVH { return c.bvh }

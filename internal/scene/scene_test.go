@@ -1,0 +1,203 @@
+package scene
+
+import (
+	"testing"
+
+	"subwarpsim/internal/rtcore"
+)
+
+func defaultParams() Params {
+	return Params{Seed: 1, Triangles: 400, Materials: 6, Clusters: 12, Extent: 50}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(defaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(defaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.BVH.NumTriangles() != b.BVH.NumTriangles() {
+		t.Fatal("triangle counts differ across identical seeds")
+	}
+	for i := 0; i < a.BVH.NumTriangles(); i++ {
+		if a.BVH.Triangle(i) != b.BVH.Triangle(i) {
+			t.Fatalf("triangle %d differs across identical seeds", i)
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	p := defaultParams()
+	a, _ := Generate(p)
+	p.Seed = 2
+	b, _ := Generate(p)
+	same := 0
+	for i := 0; i < a.BVH.NumTriangles(); i++ {
+		if a.BVH.Triangle(i) == b.BVH.Triangle(i) {
+			same++
+		}
+	}
+	if same == a.BVH.NumTriangles() {
+		t.Error("different seeds produced identical scenes")
+	}
+}
+
+func TestGenerateValidBVH(t *testing.T) {
+	s, err := Generate(defaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.BVH.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.BVH.NumTriangles() != 400 {
+		t.Errorf("triangles = %d, want 400", s.BVH.NumTriangles())
+	}
+}
+
+func TestGenerateMaterialsInRange(t *testing.T) {
+	p := defaultParams()
+	p.MaterialSkew = 0.5
+	s, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int]int)
+	for i := 0; i < s.BVH.NumTriangles(); i++ {
+		m := s.BVH.Triangle(i).Material
+		if m < 0 || m >= p.Materials {
+			t.Fatalf("material %d out of range", m)
+		}
+		seen[m]++
+	}
+	if len(seen) < 2 {
+		t.Errorf("only %d materials used, want variety", len(seen))
+	}
+}
+
+func TestMaterialSkewBiasesLowIndices(t *testing.T) {
+	uniform := defaultParams()
+	uniform.Triangles = 3000
+	skewed := uniform
+	skewed.MaterialSkew = 0.9
+
+	count := func(p Params) int {
+		s, err := Generate(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		zero := 0
+		for i := 0; i < s.BVH.NumTriangles(); i++ {
+			if s.BVH.Triangle(i).Material == 0 {
+				zero++
+			}
+		}
+		return zero
+	}
+	if count(skewed) <= count(uniform) {
+		t.Error("skew should concentrate material 0")
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	bad := []Params{
+		{Seed: 1, Triangles: -1, Materials: 1, Clusters: 1, Extent: 1},
+		{Seed: 1, Triangles: 1, Materials: 0, Clusters: 1, Extent: 1},
+		{Seed: 1, Triangles: 1, Materials: 1, Clusters: 0, Extent: 1},
+		{Seed: 1, Triangles: 1, Materials: 1, Clusters: 1, Extent: 0},
+		{Seed: 1, Triangles: 1, Materials: 1, Clusters: 1, Extent: 1, MaterialSkew: 1.5},
+	}
+	for i, p := range bad {
+		if _, err := Generate(p); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestCameraPrimaryRaysHitScene(t *testing.T) {
+	s, err := Generate(defaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cam := NewCamera(s.BVH.Bounds(), 32, 32)
+	hits := 0
+	for px := uint32(0); px < 1024; px++ {
+		ray := cam.PrimaryRay(px)
+		if s.BVH.Traverse(ray, 1e-4, rtcore.InfinityT).Ok {
+			hits++
+		}
+	}
+	// The camera frames the scene, so a reasonable share of primary
+	// rays must hit geometry (and some must miss so miss shaders run).
+	if hits < 64 {
+		t.Errorf("only %d/1024 primary rays hit the scene", hits)
+	}
+	if hits == 1024 {
+		t.Error("every ray hit; no miss-shader divergence possible")
+	}
+}
+
+func TestCameraPixelWraps(t *testing.T) {
+	cam := NewCamera(rtcore.AABB{Min: rtcore.V(-1, -1, -1), Max: rtcore.V(1, 1, 1)}, 4, 4)
+	a := cam.PrimaryRay(3)
+	b := cam.PrimaryRay(3 + 16)
+	if a != b {
+		t.Error("pixel index should wrap modulo pixel count")
+	}
+}
+
+func TestRayGenGenerations(t *testing.T) {
+	s, err := Generate(defaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cam := NewCamera(s.BVH.Bounds(), 16, 16)
+	gen := s.RayGen(cam)
+	pixels := uint32(16 * 16)
+
+	// Generation 0 matches the camera exactly.
+	if gen(5) != cam.PrimaryRay(5) {
+		t.Error("generation 0 should be the primary ray")
+	}
+	// Bounce rays differ from primaries and are deterministic.
+	b1 := gen(5 + pixels)
+	b2 := gen(5 + pixels)
+	if b1 != b2 {
+		t.Error("bounce rays must be deterministic")
+	}
+	if b1 == gen(5) {
+		t.Error("bounce ray should differ from primary")
+	}
+	// Distinct IDs give distinct bounce rays (almost surely).
+	if gen(5+pixels) == gen(6+pixels) {
+		t.Error("adjacent bounce rays identical")
+	}
+}
+
+func TestWarpDivergenceEmerges(t *testing.T) {
+	// 32 consecutive pixels (one warp) must dispatch more than one
+	// shader on a clustered multi-material scene — the Figure 5 effect.
+	p := defaultParams()
+	p.Clusters = 24
+	s, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cam := NewCamera(s.BVH.Bounds(), 64, 64)
+	gen := s.RayGen(cam)
+	shaders := make(map[int]bool)
+	for lane := uint32(0); lane < 32; lane++ {
+		hit := s.BVH.Traverse(gen(2048+lane), 1e-4, rtcore.InfinityT)
+		mat := rtcore.MissMaterial
+		if hit.Ok {
+			mat = hit.Material
+		}
+		shaders[mat] = true
+	}
+	if len(shaders) < 2 {
+		t.Errorf("warp stayed convergent (%d shader); scene should splinter it", len(shaders))
+	}
+}

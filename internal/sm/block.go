@@ -1,0 +1,505 @@
+package sm
+
+import (
+	"container/heap"
+	"math"
+	"math/rand"
+
+	"subwarpsim/internal/config"
+	"subwarpsim/internal/isa"
+	"subwarpsim/internal/mem"
+	"subwarpsim/internal/stats"
+	"subwarpsim/internal/tst"
+)
+
+// issueClass is the per-warp scheduling status the block's scheduler
+// and the SI policy logic observe each cycle.
+type issueClass uint8
+
+const (
+	classExited issueClass = iota
+	classCanIssue
+	classSelecting // paying the subwarp switch latency
+	classNoActive  // no active subwarp: demoted, yielded, or blocked
+	classFetchWait // instruction fetch miss in flight
+	classScbdWait  // active subwarp blocked on a load-to-use scoreboard
+)
+
+// wbKind distinguishes the two writeback broadcast ports of Fig. 8b
+// plus the RT core return path (modeled on the LSU port).
+type wbKind uint8
+
+const (
+	wbLoad wbKind = iota
+	wbTex
+	wbTrace
+)
+
+// wbEvent is one thread's pending register writeback.
+type wbEvent struct {
+	at   int64
+	warp *Warp
+	lane int
+	reg  uint8
+	sbid int8
+	kind wbKind
+	addr uint64 // load/tex: address read at writeback time
+	val  uint32 // trace: precomputed result
+}
+
+type eventHeap []wbEvent
+
+func (h eventHeap) Len() int           { return len(h) }
+func (h eventHeap) Less(i, j int) bool { return h[i].at < h[j].at }
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)        { *h = append(*h, x.(wbEvent)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}
+
+// warpSpec queues a not-yet-resident warp for a freed slot
+// (persistent-thread style waves when the launch exceeds occupancy).
+type warpSpec struct {
+	id        int
+	ctaID     int
+	warpInCTA int
+}
+
+// idleSummary classifies one idle cycle for stall accounting.
+type idleSummary struct {
+	loadStall    bool
+	loadStallDiv bool
+	fetchWaiters int64
+}
+
+// Block is one processing block: up to WarpSlotsPerBlock resident
+// warps, a private L0 instruction cache, a warp scheduler, and (with SI
+// enabled) the subwarp scheduler unit of Fig. 6.
+type Block struct {
+	id  int
+	cfg config.Config
+	sm  *SM
+
+	warps   []*Warp
+	pending []warpSpec
+	l0i     *mem.Cache
+	events  eventHeap
+	rng     *rand.Rand
+
+	lastIssued int
+	counters   stats.Counters
+	statuses   []issueClass // scratch, refreshed each stepped cycle
+	done       bool
+
+	// fetchPortFreeAt models the block's single L0I fill port: one line
+	// transfer at a time, so interleaved fetch streams that miss the L0
+	// queue up — the second-order fetch cost of frequent subwarp
+	// switching the paper identifies (Section VI, first limiter).
+	fetchPortFreeAt int64
+}
+
+func newBlock(id int, cfg config.Config, owner *SM) *Block {
+	return &Block{
+		id:       id,
+		cfg:      cfg,
+		sm:       owner,
+		l0i:      mem.NewCache("L0I", cfg.L0InstrBytes, 4, cfg.CacheLineBytes),
+		rng:      rand.New(rand.NewSource(int64(owner.id*1000 + id + 1))),
+		statuses: make([]issueClass, 0, cfg.WarpSlotsPerBlock),
+	}
+}
+
+// admit places a warp spec into a slot (up to the resident limit) or
+// the pending queue.
+func (b *Block) admit(spec warpSpec, resident int) {
+	if len(b.warps) < resident {
+		b.warps = append(b.warps, b.materialize(spec))
+		return
+	}
+	b.pending = append(b.pending, spec)
+}
+
+func (b *Block) materialize(spec warpSpec) *Warp {
+	return newWarp(spec.id, spec.ctaID, spec.warpInCTA, b.sm.kernel.CTASize(),
+		b.cfg.ScoreboardsPerWarp, b.cfg.EffectiveMaxSubwarps())
+}
+
+// Done reports whether every admitted warp has run to completion.
+func (b *Block) Done() bool { return b.done }
+
+// Counters returns the block's accumulated statistics.
+func (b *Block) Counters() stats.Counters { return b.counters }
+
+func (b *Block) liveWarps() int {
+	n := 0
+	for _, w := range b.warps {
+		if !w.exited {
+			n++
+		}
+	}
+	return n
+}
+
+// step advances the block by one cycle. It returns whether an
+// instruction issued and the earliest future time at which the block's
+// state can change on its own (math.MaxInt64 when nothing is pending).
+func (b *Block) step(now int64) (issued bool, next int64) {
+	if b.done {
+		return false, math.MaxInt64
+	}
+
+	b.drainEvents(now)
+	b.completeSelections(now)
+
+	// Per-warp status scan; with SI, demote scoreboard-stalled subwarps
+	// (subwarp-stall is combinational, applying to every stalled warp).
+	b.statuses = b.statuses[:0]
+	for _, w := range b.warps {
+		st := b.status(w, now)
+		if st == classScbdWait && b.cfg.SI.Enabled {
+			if b.demote(w) {
+				st = classNoActive
+			}
+		}
+		b.statuses = append(b.statuses, st)
+	}
+
+	if b.cfg.SI.Enabled {
+		b.maybeTriggerSelect(now)
+	}
+
+	issued = b.issue(now)
+	if issued {
+		b.counters.IssueCycles++
+	} else {
+		b.addIdle(b.classify(), 1)
+	}
+
+	b.retireExited()
+	b.counters.Cycles = now + 1
+
+	if b.done {
+		return issued, math.MaxInt64
+	}
+	return issued, b.nextEventTime()
+}
+
+// skipIdle accounts for gap idle cycles the SM fast-forwarded over: by
+// construction nothing changes during them, so the classification from
+// the last stepped cycle applies to each.
+func (b *Block) skipIdle(gap int64, endCycle int64) {
+	if b.done || gap <= 0 {
+		return
+	}
+	b.addIdle(b.classify(), gap)
+	b.counters.Cycles = endCycle
+}
+
+// drainEvents applies all writebacks due at or before now.
+func (b *Block) drainEvents(now int64) {
+	for len(b.events) > 0 && b.events[0].at <= now {
+		ev := heap.Pop(&b.events).(wbEvent)
+		b.applyWriteback(ev)
+	}
+}
+
+// applyWriteback writes the register, releases the scoreboard, and
+// broadcasts to the TST (subwarp-wakeup, Fig. 8b).
+func (b *Block) applyWriteback(ev wbEvent) {
+	w := ev.warp
+	val := ev.val
+	if ev.kind != wbTrace {
+		val = b.sm.kernel.Memory.Load(ev.addr)
+	}
+	w.regs[ev.lane][ev.reg] = val
+	w.sb.Dec(ev.lane, int(ev.sbid))
+	if w.tab.Writeback(ev.lane, int(ev.sbid)) {
+		b.counters.SubwarpWakeups++
+	}
+}
+
+// completeSelections finishes subwarp-select operations whose switch
+// latency elapsed, activating the chosen READY subwarp.
+func (b *Block) completeSelections(now int64) {
+	for _, w := range b.warps {
+		if !w.pendingSelect || w.selectDoneAt > now {
+			continue
+		}
+		w.pendingSelect = false
+		if sub, ok := w.tab.Select(); ok {
+			w.activate(sub.Mask, sub.PC)
+			b.counters.SubwarpSelects++
+			b.counters.SelectBusy += int64(b.cfg.SI.SwitchLatency)
+		}
+	}
+}
+
+// status computes a warp's scheduling class, performing the
+// instruction-fetch probe (L0I, then the SM-shared L1I, then the
+// fixed-latency memory stub) as a side effect when the active PC moved
+// to a new cache line.
+func (b *Block) status(w *Warp, now int64) issueClass {
+	if w.exited {
+		return classExited
+	}
+	if w.pendingSelect {
+		return classSelecting
+	}
+	if w.active.Empty() {
+		return classNoActive
+	}
+
+	if w.fetchReadyAt > now {
+		return classFetchWait
+	}
+	if w.fetchingLine != math.MaxUint64 {
+		w.fetchedLine = w.fetchingLine
+		w.fetchingLine = math.MaxUint64
+	}
+	line := uint64(w.activePC*b.cfg.InstrBytes) / uint64(b.cfg.CacheLineBytes)
+	if line != w.fetchedLine {
+		addr := line * uint64(b.cfg.CacheLineBytes)
+		b.counters.L0IAccesses++
+		readyAt, hit := b.l0i.Access(addr, now, func(at int64) int64 {
+			b.counters.L1IAccesses++
+			r, l1iHit := b.sm.l1i.Access(addr, at, func(at2 int64) int64 {
+				return at2 + int64(b.cfg.L1IMissPenalty)
+			})
+			if !l1iHit {
+				b.counters.L1IMisses++
+			}
+			return r + int64(b.cfg.L0MissPenalty)
+		})
+		if !hit {
+			b.counters.L0IMisses++
+			port := b.fetchPortFreeAt
+			if port < now {
+				port = now
+			}
+			b.fetchPortFreeAt = port + int64(b.cfg.L0MissPenalty)
+			if readyAt < b.fetchPortFreeAt {
+				readyAt = b.fetchPortFreeAt
+			}
+		}
+		if readyAt > now {
+			w.fetchReadyAt = readyAt
+			w.fetchingLine = line
+			return classFetchWait
+		}
+		w.fetchedLine = line
+	}
+
+	// Load-to-use scoreboard wait. The baseline observes the warp-wide
+	// aliased view; SI reads the active subwarp's replicated counters.
+	in := b.sm.prog.At(w.activePC)
+	if in.ReqScbd != isa.NoScoreboard {
+		mask := w.active
+		if !b.cfg.SI.Enabled {
+			mask = w.tab.Live()
+		}
+		if !w.sb.Ready(mask, int(in.ReqScbd)) {
+			return classScbdWait
+		}
+	}
+	return classCanIssue
+}
+
+// demote performs subwarp-stall: the active subwarp records its
+// blocking scoreboard in the TST and transitions to STALLED, freeing
+// the warp's scheduling slot for other subwarps. Returns false on TST
+// overflow (Fig. 15's limited-entry configurations).
+func (b *Block) demote(w *Warp) bool {
+	// Demotion exists to free the warp's slot for other subwarps; when
+	// none is READY there is nothing to switch to, and staying put lets
+	// the warp resume directly on writeback instead of waiting for a
+	// policy-gated subwarp-select.
+	if w.tab.Mask(tst.Ready).Empty() {
+		return false
+	}
+	// Under DWS, every concurrently parked (stalled) subwarp occupies
+	// one of the block's free warp slots; with no free slot the split
+	// cannot happen and the warp serializes like the baseline — the
+	// paper's Section VII-B contrast with SI.
+	if b.cfg.SI.DWS && b.parkedSubwarps() >= b.freeSlots() {
+		b.counters.TSTOverflow++
+		return false
+	}
+	in := b.sm.prog.At(w.activePC)
+	sbid := int(in.ReqScbd)
+	ok := w.tab.Stall(w.active, sbid, func(lane int) int {
+		return w.sb.LaneCount(lane, sbid)
+	})
+	if !ok {
+		b.counters.TSTOverflow++
+		return false
+	}
+	b.counters.SubwarpStalls++
+	w.dropActive()
+	return true
+}
+
+// maybeTriggerSelect applies the Section III-C3 policy: when the
+// fraction of stalled warps among live warps satisfies the trigger,
+// initiate subwarp-select on the lowest-numbered stalled warp that has
+// a READY subwarp. One initiation per block per cycle.
+func (b *Block) maybeTriggerSelect(now int64) {
+	stalled, live := 0, 0
+	for i, w := range b.warps {
+		if w.exited {
+			continue
+		}
+		live++
+		if b.statuses[i] == classScbdWait || b.statuses[i] == classNoActive {
+			stalled++
+		}
+	}
+	if !b.cfg.SI.Trigger.Satisfied(stalled, live) {
+		return
+	}
+	for i, w := range b.warps {
+		if b.statuses[i] != classNoActive || w.pendingSelect {
+			continue
+		}
+		if w.tab.Mask(tst.Ready).Empty() {
+			continue
+		}
+		w.pendingSelect = true
+		w.selectDoneAt = now + int64(b.cfg.SI.SwitchLatency)
+		b.statuses[i] = classSelecting
+		return
+	}
+}
+
+// issue picks one ready warp (greedy, then round-robin) and executes
+// its next instruction.
+func (b *Block) issue(now int64) bool {
+	n := len(b.warps)
+	if n == 0 {
+		return false
+	}
+	pick := -1
+	if b.lastIssued < n && b.statuses[b.lastIssued] == classCanIssue {
+		pick = b.lastIssued
+	} else {
+		for off := 1; off <= n; off++ {
+			i := (b.lastIssued + off) % n
+			if b.statuses[i] == classCanIssue {
+				pick = i
+				break
+			}
+		}
+	}
+	if pick < 0 {
+		return false
+	}
+	b.lastIssued = pick
+	w := b.warps[pick]
+	b.execute(w, b.sm.prog.At(w.activePC), now)
+	return true
+}
+
+// classify summarizes why the block is idle this cycle, mirroring the
+// paper's metric: an exposed load-to-use stall is a cycle where no warp
+// can issue and at least one live warp waits on an outstanding
+// long-latency operation; it counts as divergent when such a warp is
+// diverged.
+func (b *Block) classify() idleSummary {
+	var s idleSummary
+	for i, w := range b.warps {
+		switch b.statuses[i] {
+		case classScbdWait:
+			s.loadStall = true
+			if w.Diverged() {
+				s.loadStallDiv = true
+			}
+		case classNoActive, classSelecting:
+			if !w.tab.Mask(tst.Stalled).Empty() {
+				s.loadStall = true
+				if w.Diverged() {
+					s.loadStallDiv = true
+				}
+			}
+		case classFetchWait:
+			s.fetchWaiters++
+		}
+	}
+	return s
+}
+
+// addIdle charges n idle cycles with the given classification.
+func (b *Block) addIdle(s idleSummary, n int64) {
+	b.counters.IdleCycles += n
+	b.counters.FetchStallCycles += s.fetchWaiters * n
+	switch {
+	case s.loadStall:
+		b.counters.ExposedLoadStalls += n
+		if s.loadStallDiv {
+			b.counters.ExposedLoadStallsDivergent += n
+		}
+	case s.fetchWaiters > 0:
+		b.counters.ExposedFetchStalls += n
+	default:
+		b.counters.BarrierStallCycles += n
+	}
+}
+
+// retireExited recycles slots of exited warps for queued warps and
+// marks the block done when nothing remains.
+func (b *Block) retireExited() {
+	for i, w := range b.warps {
+		if w.exited && len(b.pending) > 0 {
+			b.warps[i] = b.materialize(b.pending[0])
+			b.pending = b.pending[1:]
+		}
+	}
+	if len(b.pending) == 0 && b.liveWarps() == 0 {
+		b.done = true
+	}
+}
+
+// parkedSubwarps counts stalled subwarp groups across all resident
+// warps — the warp-slot footprint of DWS splits.
+func (b *Block) parkedSubwarps() int {
+	n := 0
+	for _, w := range b.warps {
+		if !w.exited {
+			n += w.tab.StalledSubwarps()
+		}
+	}
+	return n
+}
+
+// freeSlots is the number of unoccupied warp slots in the block.
+func (b *Block) freeSlots() int {
+	free := b.cfg.WarpSlotsPerBlock - b.liveWarps()
+	if free < 0 {
+		free = 0
+	}
+	return free
+}
+
+// nextEventTime returns the earliest future time the block's state can
+// change without issuing: a writeback, a select completion, or an
+// instruction fetch fill.
+func (b *Block) nextEventTime() int64 {
+	next := int64(math.MaxInt64)
+	if len(b.events) > 0 && b.events[0].at < next {
+		next = b.events[0].at
+	}
+	for _, w := range b.warps {
+		if w.exited {
+			continue
+		}
+		if w.pendingSelect && w.selectDoneAt < next {
+			next = w.selectDoneAt
+		}
+		if w.fetchingLine != math.MaxUint64 && w.fetchReadyAt < next {
+			next = w.fetchReadyAt
+		}
+	}
+	return next
+}

@@ -1,0 +1,231 @@
+package sm
+
+import (
+	"reflect"
+	"testing"
+
+	"subwarpsim/internal/config"
+	"subwarpsim/internal/isa"
+	"subwarpsim/internal/mem"
+	"subwarpsim/internal/tst"
+)
+
+// fig9Program assembles the paper's Fig. 9 kernel verbatim: a divergent
+// if-then-else with a load-to-use stall on both paths (TLD on the
+// fall-through, TEX on the else path).
+func fig9Program() *isa.Program {
+	b := isa.NewBuilder("fig9")
+	b.S2R(0, isa.SRLaneID)
+	b.Shl(8, 0, 7)               // per-lane texture coordinate
+	b.Movi(9, 0x40000)           // TEX base
+	b.Movi(5, 0x100)             // FMUL operand
+	b.Movi(6, 0x200)             // c[1][16] stand-in
+	b.Isetpi(isa.CmpEQ, 0, 0, 0) // P0 = (lane == 0): t0 takes Else
+	b.Bssy(0, "syncPoint")       // 1. BSSY B0, syncPoint
+	b.BraP(0, false, "Else")     // 2. @P0 BRA Else
+	b.Tld(2, 8, 0x10000, 5)      // 3. TLD R2 &wr=sb5
+	b.Fmul(10, 5, 6)             // 4. FMUL R10, R5, c[1][16]
+	b.Fmul(2, 2, 10).Req(5)      // 5. FMUL R2, R2, R10 &req=sb5
+	b.Bra("syncPoint")           // 6. BRA syncPoint
+	b.Label("Else")
+	b.Tex(1, 8, 9, 0, 2)   // 7. TEX R1, R8, R9 &wr=sb2
+	b.Fadd(1, 1, 3).Req(2) // 8. FADD R1, R1, R3 &req=sb2
+	b.Bra("syncPoint")     // 9. BRA syncPoint
+	b.Label("syncPoint")
+	b.Bsync(0) // 10. BSYNC B0
+	return b.Exit().MustBuild()
+}
+
+// traceStates steps a single-warp SM to completion, recording the
+// compressed per-lane state sequences for the two subwarp
+// representative lanes: lane 0 (Else/TEX subwarp, the paper's t0) and
+// lane 1 (fall-through/TLD subwarp, the paper's t1).
+func traceStates(t *testing.T, cfg config.Config) (lane0, lane1 []tst.State) {
+	t.Helper()
+	k := &Kernel{Program: fig9Program(), NumWarps: 1, WarpsPerCTA: 1, Memory: mem.NewMemory()}
+	s, err := NewSM(0, cfg, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Admit(0, 0, 0, 0)
+	blk := s.blocks[0]
+	w := blk.warps[0]
+
+	record := func(seq []tst.State, lane int) []tst.State {
+		st := w.tab.State(lane)
+		if len(seq) == 0 || seq[len(seq)-1] != st {
+			seq = append(seq, st)
+		}
+		return seq
+	}
+	lane0 = record(nil, 0)
+	lane1 = record(nil, 1)
+	for now := int64(0); !blk.done; now++ {
+		if now > 1_000_000 {
+			t.Fatalf("fig9 did not finish:\n%s", s.dumpState())
+		}
+		blk.step(now)
+		lane0 = record(lane0, 0)
+		lane1 = record(lane1, 1)
+	}
+	return lane0, lane1
+}
+
+// fig10Config: single block, free instruction fetch, fall-through
+// subwarp activated first so the TLD path runs first as in Fig. 10.
+func fig10Config() config.Config {
+	cfg := testConfig()
+	cfg.Order = config.OrderFallthroughFirst
+	return cfg
+}
+
+func TestFig10aWithoutYield(t *testing.T) {
+	cfg := fig10Config().WithSI(false, config.TriggerAllStalled)
+	lane0, lane1 := traceStates(t, cfg)
+
+	// t1 (TLD path, active first): issues its texture load, stalls at
+	// the use, is demoted, wakes when the load returns, runs to BSYNC,
+	// blocks, reconverges, exits. It must never be READY before being
+	// STALLED (that would be a yield, disabled here).
+	want1 := []tst.State{tst.Active, tst.Stalled, tst.Ready, tst.Active, tst.Blocked, tst.Active, tst.Inactive}
+	if !reflect.DeepEqual(lane1, want1) {
+		t.Errorf("t1 states = %v, want %v", lane1, want1)
+	}
+	// t0 (Else path): loses the election (READY), gets selected after
+	// t1's demotion, issues TEX, stalls, wakes, finishes. The woken
+	// READY may be invisible at cycle granularity when the wakeup
+	// coincides with t1 blocking at BSYNC (the divergence unit then
+	// re-activates t0 in the same cycle), so both traces are legal.
+	want0a := []tst.State{tst.Active, tst.Ready, tst.Active, tst.Stalled, tst.Ready, tst.Active, tst.Inactive}
+	want0b := []tst.State{tst.Active, tst.Ready, tst.Active, tst.Stalled, tst.Active, tst.Inactive}
+	if !reflect.DeepEqual(lane0, want0a) && !reflect.DeepEqual(lane0, want0b) {
+		t.Errorf("t0 states = %v, want %v or %v", lane0, want0a, want0b)
+	}
+}
+
+func TestFig10bWithYield(t *testing.T) {
+	cfg := fig10Config().WithSI(true, config.TriggerAllStalled)
+	lane1Seq := func() []tst.State {
+		_, l1 := traceStates(t, cfg)
+		return l1
+	}()
+
+	// The key difference from Fig. 10a: t1 yields right after issuing
+	// its long-latency texture op, so it transitions ACTIVE -> READY
+	// *before* ever being STALLED.
+	sawReady, sawStalledBeforeReady := false, false
+	for _, st := range lane1Seq {
+		if st == tst.Ready {
+			sawReady = true
+			break
+		}
+		if st == tst.Stalled {
+			sawStalledBeforeReady = true
+			break
+		}
+	}
+	if !sawReady || sawStalledBeforeReady {
+		t.Errorf("t1 states = %v: with yield, READY must precede any STALLED", lane1Seq)
+	}
+}
+
+func TestFig10bYieldOverlapsEarlier(t *testing.T) {
+	// subwarp-yield lets both loads issue before either use stalls, so
+	// the yield configuration must not be slower and both memory
+	// operations must overlap (runtime ~ one miss latency).
+	sosCfg := fig10Config().WithSI(false, config.TriggerAllStalled)
+	bothCfg := fig10Config().WithSI(true, config.TriggerAllStalled)
+
+	runOnce := func(cfg config.Config) int64 {
+		k := &Kernel{Program: fig9Program(), NumWarps: 1, WarpsPerCTA: 1, Memory: mem.NewMemory()}
+		s, err := NewSM(0, cfg, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Admit(0, 0, 0, 0)
+		c, err := s.Run(1_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c.Cycles
+	}
+	sos := runOnce(sosCfg)
+	both := runOnce(bothCfg)
+	// On Fig. 9 the use follows the load almost immediately, so SOS
+	// already issues both loads early; yield may only add bounded
+	// switch overhead (2 extra switches at 6 cycles each, plus slack).
+	if both > sos+40 {
+		t.Errorf("Both (%d cyc) overhead too large vs SOS (%d cyc)", both, sos)
+	}
+	if limit := int64(sosCfg.L1MissLatency) + 120; both > limit {
+		t.Errorf("Both = %d cycles; loads did not overlap (limit %d)", both, limit)
+	}
+}
+
+// TestYieldBeatsSOSWithComputeBeforeUse builds the case subwarp-yield
+// exists for (Section III-B): the first subwarp has a long independent
+// math sequence between its load and the use, so under switch-on-stall
+// the second subwarp's load issues only after that compute finishes.
+// Yield issues both loads up front, maximizing memory-level
+// parallelism.
+func TestYieldBeatsSOSWithComputeBeforeUse(t *testing.T) {
+	build := func() *isa.Program {
+		b := isa.NewBuilder("computeThenUse")
+		b.S2R(0, isa.SRLaneID)
+		b.Shl(1, 0, 7)
+		b.Isetpi(isa.CmpEQ, 0, 0, 0)
+		b.Bssy(0, "sync")
+		b.BraP(0, false, "pathB")
+		// Path A (lanes 1..31): load, 150 independent math ops, use.
+		b.Iaddi(2, 1, 0x10000)
+		b.Ldg(3, 2, 0, 0)
+		for i := 0; i < 150; i++ {
+			b.Iaddi(4, 4, 1)
+		}
+		b.Iadd(3, 3, 3).Req(0)
+		b.Bra("sync")
+		b.Label("pathB") // lane 0: load then immediate use
+		b.Iaddi(2, 1, 0x40000)
+		b.Ldg(3, 2, 0, 1)
+		b.Iadd(3, 3, 3).Req(1)
+		b.Bra("sync")
+		b.Label("sync")
+		b.Bsync(0)
+		return b.Exit().MustBuild()
+	}
+	runOnce := func(cfg config.Config) int64 {
+		k := &Kernel{Program: build(), NumWarps: 1, WarpsPerCTA: 1, Memory: mem.NewMemory()}
+		s, err := NewSM(0, cfg, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Admit(0, 0, 0, 0)
+		c, err := s.Run(1_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c.Cycles
+	}
+	sos := runOnce(fig10Config().WithSI(false, config.TriggerAllStalled))
+	both := runOnce(fig10Config().WithSI(true, config.TriggerAllStalled))
+	if both >= sos {
+		t.Errorf("yield (%d cyc) should beat SOS (%d cyc) when compute delays the stall", both, sos)
+	}
+}
+
+func TestFig9BaselineSerializes(t *testing.T) {
+	cfg := fig10Config()
+	k := &Kernel{Program: fig9Program(), NumWarps: 1, WarpsPerCTA: 1, Memory: mem.NewMemory()}
+	s, err := NewSM(0, cfg, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Admit(0, 0, 0, 0)
+	c, err := s.Run(1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min := int64(2 * cfg.L1MissLatency); c.Cycles < min {
+		t.Errorf("baseline = %d cycles, want >= %d (serialized)", c.Cycles, min)
+	}
+}

@@ -1,0 +1,219 @@
+package sm
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"subwarpsim/internal/bits"
+	"subwarpsim/internal/config"
+	"subwarpsim/internal/isa"
+	"subwarpsim/internal/mem"
+	"subwarpsim/internal/rtcore"
+	"subwarpsim/internal/stats"
+	"subwarpsim/internal/tst"
+)
+
+// Kernel is one launch: a program, its warp count, and the functional
+// resources it executes against.
+type Kernel struct {
+	Program *isa.Program
+	// NumWarps is the total warps in the launch; warps beyond the
+	// occupancy limit queue for freed slots (persistent waves).
+	NumWarps int
+	// WarpsPerCTA sizes the cooperative thread array for S2R special
+	// registers.
+	WarpsPerCTA int
+	// Memory is the functional global/texture backing store.
+	Memory *mem.Memory
+	// BVH and RayGen configure the RT core; nil unless the program uses
+	// TRACE.
+	BVH    *rtcore.BVH
+	RayGen rtcore.RayGen
+}
+
+// CTASize returns threads per CTA.
+func (k *Kernel) CTASize() int { return k.WarpsPerCTA * bits.WarpSize }
+
+// Validate reports the first kernel configuration error.
+func (k *Kernel) Validate() error {
+	if k.Program == nil {
+		return fmt.Errorf("sm: kernel has no program")
+	}
+	if err := k.Program.Validate(); err != nil {
+		return err
+	}
+	if k.NumWarps <= 0 {
+		return fmt.Errorf("sm: kernel %q has no warps", k.Program.Name)
+	}
+	if k.WarpsPerCTA <= 0 {
+		return fmt.Errorf("sm: kernel %q has non-positive WarpsPerCTA", k.Program.Name)
+	}
+	if k.Memory == nil {
+		return fmt.Errorf("sm: kernel %q has no memory", k.Program.Name)
+	}
+	usesTrace := false
+	for _, in := range k.Program.Code {
+		if in.Op == isa.TRACE {
+			usesTrace = true
+			break
+		}
+	}
+	if usesTrace && (k.BVH == nil || k.RayGen == nil) {
+		return fmt.Errorf("sm: kernel %q uses TRACE but has no BVH/RayGen", k.Program.Name)
+	}
+	if maxSB := k.Program.MaxScoreboard(); maxSB >= 0 {
+		// Scoreboard IDs must fit the per-warp file; checked at launch
+		// against the configured NSB.
+		_ = maxSB
+	}
+	return nil
+}
+
+// SM is one streaming multiprocessor: processing blocks sharing an L1
+// instruction cache, an L1 data cache, and an RT core.
+type SM struct {
+	id     int
+	cfg    config.Config
+	prog   *isa.Program
+	kernel *Kernel
+
+	l1i    *mem.Cache
+	l1d    *mem.Cache
+	rt     *rtcore.Core
+	blocks []*Block
+}
+
+// NewSM builds an SM for the given kernel. The configuration must be
+// valid (see config.Config.Validate).
+func NewSM(id int, cfg config.Config, kernel *Kernel) (*SM, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := kernel.Validate(); err != nil {
+		return nil, err
+	}
+	if maxSB := kernel.Program.MaxScoreboard(); maxSB >= cfg.ScoreboardsPerWarp {
+		return nil, fmt.Errorf("sm: program %q uses sb%d but config has %d scoreboards/warp",
+			kernel.Program.Name, maxSB, cfg.ScoreboardsPerWarp)
+	}
+	s := &SM{
+		id:     id,
+		cfg:    cfg,
+		prog:   kernel.Program,
+		kernel: kernel,
+		l1i:    mem.NewCache("L1I", cfg.L1InstrBytes, 8, cfg.CacheLineBytes),
+		l1d:    mem.NewCache("L1D", cfg.L1DataBytes, 8, cfg.CacheLineBytes),
+	}
+	if kernel.BVH != nil && kernel.RayGen != nil {
+		s.rt = rtcore.NewCore(kernel.BVH, kernel.RayGen,
+			int64(cfg.RTBaseLatency), int64(cfg.RTStepLatency))
+	}
+	for b := 0; b < cfg.BlocksPerSM; b++ {
+		s.blocks = append(s.blocks, newBlock(b, cfg, s))
+	}
+	return s, nil
+}
+
+// ResidentWarpsPerBlock returns the occupancy limit: warp slots capped
+// by register-file pressure (Section II-B), at least one.
+func (s *SM) ResidentWarpsPerBlock() int {
+	regsPerWarp := s.prog.RegsPerThread * bits.WarpSize
+	byRegs := s.cfg.RegFilePerBlock / regsPerWarp
+	n := s.cfg.WarpSlotsPerBlock
+	if byRegs < n {
+		n = byRegs
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Admit assigns a warp to one of the SM's blocks (round-robin by
+// sequence number).
+func (s *SM) Admit(seq int, id, ctaID, warpInCTA int) {
+	blk := s.blocks[seq%len(s.blocks)]
+	blk.admit(warpSpec{id: id, ctaID: ctaID, warpInCTA: warpInCTA}, s.ResidentWarpsPerBlock())
+}
+
+// Blocks exposes the SM's processing blocks (for tests/inspection).
+func (s *SM) Blocks() []*Block { return s.blocks }
+
+// Run simulates until every admitted warp completes or maxCycles
+// elapses, returning the merged per-block counters. The run loop steps
+// all blocks in lock-step and fast-forwards through provably idle
+// regions to the next scheduled event.
+func (s *SM) Run(maxCycles int64) (stats.Counters, error) {
+	for _, blk := range s.blocks {
+		if len(blk.warps) == 0 && len(blk.pending) == 0 {
+			blk.done = true
+		}
+	}
+	now := int64(0)
+	for {
+		allDone := true
+		anyIssued := false
+		next := int64(math.MaxInt64)
+		for _, blk := range s.blocks {
+			if blk.done {
+				continue
+			}
+			allDone = false
+			issued, n := blk.step(now)
+			if issued {
+				anyIssued = true
+			}
+			if n < next {
+				next = n
+			}
+		}
+		if allDone {
+			break
+		}
+		switch {
+		case anyIssued || next <= now+1:
+			now++
+		case next == math.MaxInt64:
+			return s.merge(), fmt.Errorf("sm %d: deadlock at cycle %d\n%s", s.id, now, s.dumpState())
+		default:
+			// Cycles now+1 .. next-1 are provably idle everywhere.
+			gap := next - now - 1
+			for _, blk := range s.blocks {
+				blk.skipIdle(gap, next)
+			}
+			now = next
+		}
+		if now > maxCycles {
+			return s.merge(), fmt.Errorf("sm %d: exceeded %d cycles", s.id, maxCycles)
+		}
+	}
+	return s.merge(), nil
+}
+
+func (s *SM) merge() stats.Counters {
+	var total stats.Counters
+	for _, blk := range s.blocks {
+		total.Merge(blk.counters)
+	}
+	return total
+}
+
+// dumpState renders a per-warp diagnostic for deadlock reports.
+func (s *SM) dumpState() string {
+	var b strings.Builder
+	for _, blk := range s.blocks {
+		fmt.Fprintf(&b, "block %d (done=%v pending=%d):\n", blk.id, blk.done, len(blk.pending))
+		for _, w := range blk.warps {
+			if w.exited {
+				fmt.Fprintf(&b, "  warp %d: exited\n", w.ID)
+				continue
+			}
+			fmt.Fprintf(&b, "  warp %d: pc=%d active=%v ready=%v blocked=%v stalled=%v pendingSel=%v\n",
+				w.ID, w.activePC, w.active,
+				w.tab.Mask(tst.Ready), w.tab.Mask(tst.Blocked), w.tab.Mask(tst.Stalled),
+				w.pendingSelect)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,163 @@
+// Package sm implements the cycle-level Turing-like streaming
+// multiprocessor: processing blocks with warp schedulers, convergence-
+// barrier divergence handling, count-based scoreboards, L0/L1
+// instruction caches, an L1 data cache over a fixed-latency memory
+// stub, texture and load/store writeback paths, an RT core, and the
+// Subwarp Interleaving subwarp scheduler of Section III.
+package sm
+
+import (
+	"fmt"
+	"math"
+
+	"subwarpsim/internal/bits"
+	"subwarpsim/internal/isa"
+	"subwarpsim/internal/scoreboard"
+	"subwarpsim/internal/tst"
+)
+
+// Warp is one resident warp's architectural and scheduling state.
+type Warp struct {
+	// Identity (drives S2R special registers).
+	ID        int // global warp index in the launch
+	CTAID     int
+	WarpInCTA int
+	CTASize   int // threads per CTA
+
+	// Architectural state.
+	pcs   [bits.WarpSize]int
+	regs  [bits.WarpSize][isa.NumRegs]uint32
+	preds [bits.WarpSize][isa.NumPreds]bool
+
+	// Divergence and scheduling state.
+	tab      *tst.Table
+	sb       *scoreboard.File
+	barriers [isa.NumBarriers]bits.Mask
+
+	active   bits.Mask // cached tst Active mask (all at activePC)
+	activePC int
+
+	// Fetch state.
+	fetchReadyAt int64
+	fetchingLine uint64
+	fetchedLine  uint64 // last line known resident; math.MaxUint64 when none
+
+	// Subwarp-select state.
+	pendingSelect bool
+	selectDoneAt  int64
+
+	// Yield bookkeeping: long-latency ops issued since activation.
+	longOpsSinceActivation int
+
+	exited bool
+}
+
+// newWarp initializes a resident warp: all 32 threads Active at PC 0.
+func newWarp(id, ctaID, warpInCTA, ctaSize, nsb, maxSubwarps int) *Warp {
+	w := &Warp{
+		ID:        id,
+		CTAID:     ctaID,
+		WarpInCTA: warpInCTA,
+		CTASize:   ctaSize,
+		sb:        scoreboard.NewFile(nsb),
+	}
+	w.tab = tst.New(&w.pcs, maxSubwarps)
+	w.tab.ActivateAll(bits.FullMask)
+	w.active = bits.FullMask
+	w.activePC = 0
+	w.fetchedLine = math.MaxUint64
+	w.fetchingLine = math.MaxUint64
+	return w
+}
+
+// Active returns the current active subwarp's mask.
+func (w *Warp) Active() bits.Mask { return w.active }
+
+// PC returns the active subwarp's program counter.
+func (w *Warp) PC() int { return w.activePC }
+
+// Exited reports whether every thread has left the program.
+func (w *Warp) Exited() bool { return w.exited }
+
+// Table exposes the warp's thread status table (for inspection/tests).
+func (w *Warp) Table() *tst.Table { return w.tab }
+
+// Scoreboards exposes the warp's scoreboard file.
+func (w *Warp) Scoreboards() *scoreboard.File { return w.sb }
+
+// Diverged reports whether the warp currently has more than one live
+// subwarp, the condition under which exposed stalls count as
+// "in divergent code blocks" (Fig. 3).
+func (w *Warp) Diverged() bool { return w.tab.LiveSubwarps() > 1 }
+
+// special reads an S2R special register for one lane.
+func (w *Warp) special(sr int, lane int) uint32 {
+	switch sr {
+	case isa.SRLaneID:
+		return uint32(lane)
+	case isa.SRWarpID:
+		return uint32(w.WarpInCTA)
+	case isa.SRCTAID:
+		return uint32(w.CTAID)
+	case isa.SRThreadID:
+		return uint32(w.CTAID*w.CTASize + w.WarpInCTA*bits.WarpSize + lane)
+	default:
+		panic(fmt.Sprintf("sm: unknown special register %d", sr))
+	}
+}
+
+// activate makes the given PC-aligned group the active subwarp and
+// advances the selection rotor past it.
+func (w *Warp) activate(mask bits.Mask, pc int) {
+	w.active = mask
+	w.activePC = pc
+	w.longOpsSinceActivation = 0
+	w.tab.NoteActivated(pc)
+}
+
+// dropActive clears the active subwarp after its threads transitioned
+// elsewhere (stall, yield, block, exit).
+func (w *Warp) dropActive() {
+	w.active = 0
+}
+
+// setActivePCs advances every active thread's per-thread PC to pc.
+func (w *Warp) setActivePCs(pc int) {
+	w.active.ForEach(func(lane int) { w.pcs[lane] = pc })
+	w.activePC = pc
+}
+
+// selectImmediate is the baseline divergence unit's zero-cost subwarp
+// switch used at BSYNC and thread exit: pick a READY subwarp and
+// activate it. It returns false when none is ready.
+func (w *Warp) selectImmediate() bool {
+	sub, ok := w.tab.Select()
+	if !ok {
+		return false
+	}
+	w.activate(sub.Mask, sub.PC)
+	return true
+}
+
+// checkExit marks the warp exited once no live threads remain.
+func (w *Warp) checkExit() {
+	if w.tab.Live().Empty() {
+		w.exited = true
+		w.dropActive()
+	}
+}
+
+// assertConsistent validates internal invariants; simulation bugs
+// should fail loudly rather than corrupt results.
+func (w *Warp) assertConsistent() {
+	if w.active != w.tab.Mask(tst.Active) {
+		panic(fmt.Sprintf("sm: warp %d active cache %v != table %v",
+			w.ID, w.active, w.tab.Mask(tst.Active)))
+	}
+	w.active.ForEach(func(lane int) {
+		if w.pcs[lane] != w.activePC {
+			panic(fmt.Sprintf("sm: warp %d lane %d pc %d != active pc %d",
+				w.ID, lane, w.pcs[lane], w.activePC))
+		}
+	})
+}

@@ -1,0 +1,305 @@
+// Package tst implements the Thread Status Table and the per-thread
+// state machine of Figures 7 and 8.
+//
+// The table tracks, per thread: its scheduling state; and — while
+// STALLED — the ID and outstanding count of the count-based scoreboard
+// it stalled on. Writeback broadcasts decrement matching recorded
+// counts (Fig. 8b) and wake threads whose counts reach zero
+// (subwarp-wakeup). Selection logic groups READY threads into
+// PC-aligned subwarps and rotates among them (subwarp-select).
+//
+// The table is sized by a maximum number of concurrently demoted
+// subwarps (NTST in Section III-C1): demotions beyond capacity are
+// rejected and the requesting subwarp stays put, modeling the smaller
+// TST configurations of the Fig. 15 sensitivity study.
+package tst
+
+import (
+	"fmt"
+	"sort"
+
+	"subwarpsim/internal/bits"
+)
+
+// State is the scheduling status of one thread (Fig. 7).
+type State uint8
+
+const (
+	// Inactive: before program entry or after thread exit.
+	Inactive State = iota
+	// Active: the thread belongs to the warp's currently executing
+	// subwarp.
+	Active
+	// Ready: eligible for selection (lost a divergent-branch election,
+	// was woken after a stall, or yielded).
+	Ready
+	// Blocked: waiting at a convergence barrier (unsuccessful BSYNC).
+	Blocked
+	// Stalled: demoted after a load-to-use stall; waiting for its
+	// recorded scoreboard to count down (SI-only state).
+	Stalled
+)
+
+func (s State) String() string {
+	switch s {
+	case Inactive:
+		return "INACTIVE"
+	case Active:
+		return "ACTIVE"
+	case Ready:
+		return "READY"
+	case Blocked:
+		return "BLOCKED"
+	case Stalled:
+		return "STALLED"
+	default:
+		return fmt.Sprintf("State(%d)", uint8(s))
+	}
+}
+
+// Table is one warp's thread status table. PCs live with the owning
+// warp; the table reads them through the pointer supplied at creation
+// so that grouping and selection see current values.
+type Table struct {
+	pcs         *[bits.WarpSize]int
+	maxSubwarps int
+
+	state   [bits.WarpSize]State
+	scbdID  [bits.WarpSize]int8
+	scbdCnt [bits.WarpSize]uint8
+
+	lastSelectedPC int // round-robin pointer for selection
+}
+
+// New creates a table over the given per-thread PC array, supporting at
+// most maxSubwarps concurrently demoted subwarps (1..32).
+func New(pcs *[bits.WarpSize]int, maxSubwarps int) *Table {
+	if maxSubwarps < 1 {
+		maxSubwarps = 1
+	}
+	if maxSubwarps > bits.WarpSize {
+		maxSubwarps = bits.WarpSize
+	}
+	t := &Table{pcs: pcs, maxSubwarps: maxSubwarps, lastSelectedPC: -1}
+	for i := range t.scbdID {
+		t.scbdID[i] = -1
+	}
+	return t
+}
+
+// MaxSubwarps returns the demotion capacity.
+func (t *Table) MaxSubwarps() int { return t.maxSubwarps }
+
+// State returns the state of one lane.
+func (t *Table) State(lane int) State { return t.state[lane] }
+
+// SetState transitions one lane; transitions that leave Stalled clear
+// the recorded scoreboard fields.
+func (t *Table) SetState(lane int, s State) {
+	if t.state[lane] == Stalled && s != Stalled {
+		t.scbdID[lane] = -1
+		t.scbdCnt[lane] = 0
+	}
+	t.state[lane] = s
+}
+
+// Mask returns the lanes currently in state s.
+func (t *Table) Mask(s State) bits.Mask {
+	var m bits.Mask
+	for lane := 0; lane < bits.WarpSize; lane++ {
+		if t.state[lane] == s {
+			m = m.Set(lane)
+		}
+	}
+	return m
+}
+
+// Live returns the lanes not Inactive.
+func (t *Table) Live() bits.Mask {
+	var m bits.Mask
+	for lane := 0; lane < bits.WarpSize; lane++ {
+		if t.state[lane] != Inactive {
+			m = m.Set(lane)
+		}
+	}
+	return m
+}
+
+// LiveSubwarps returns the number of distinct PCs among live lanes:
+// 0 for an exited warp, 1 when convergent, more when diverged.
+func (t *Table) LiveSubwarps() int {
+	return t.distinctPCs(t.Live())
+}
+
+func (t *Table) distinctPCs(m bits.Mask) int {
+	var pcs []int
+	m.ForEach(func(lane int) {
+		pc := t.pcs[lane]
+		for _, p := range pcs {
+			if p == pc {
+				return
+			}
+		}
+		pcs = append(pcs, pc)
+	})
+	return len(pcs)
+}
+
+// StalledSubwarps returns how many distinct PC groups occupy TST
+// demotion entries.
+func (t *Table) StalledSubwarps() int {
+	return t.distinctPCs(t.Mask(Stalled))
+}
+
+// Stall performs the subwarp-stall transition: every lane in mask moves
+// from Active to Stalled, recording scoreboard sbid and the lane's
+// outstanding count supplied by laneCount. Lanes whose count is already
+// zero (their data returned while others' is pending) go straight to
+// Ready.
+//
+// Stall returns false without any transition when the table has no free
+// demotion entry (TST overflow): the caller leaves the subwarp Active
+// and the warp simply waits, as the baseline would.
+func (t *Table) Stall(mask bits.Mask, sbid int, laneCount func(lane int) int) bool {
+	if mask.Empty() {
+		return false
+	}
+	// A table with K entries supports K concurrently overlapping
+	// subwarps: K-1 demoted into entries plus the one in the active
+	// slot. The K-th stall is rejected, so that subwarp waits in place
+	// (like the baseline) instead of freeing the slot for yet another
+	// load stream.
+	if t.StalledSubwarps() >= t.maxSubwarps-1 {
+		return false
+	}
+	mask.ForEach(func(lane int) {
+		if t.state[lane] != Active {
+			panic(fmt.Sprintf("tst: subwarp-stall of lane %d in state %v", lane, t.state[lane]))
+		}
+		cnt := laneCount(lane)
+		if cnt <= 0 {
+			t.state[lane] = Ready
+			return
+		}
+		if cnt > 255 {
+			cnt = 255
+		}
+		t.state[lane] = Stalled
+		t.scbdID[lane] = int8(sbid)
+		t.scbdCnt[lane] = uint8(cnt)
+	})
+	return true
+}
+
+// Writeback is the subwarp-wakeup port of Fig. 8b: the writeback of a
+// scoreboard-protected operand for one lane broadcasts its scoreboard
+// ID; if the lane is Stalled on that ID its recorded count decrements,
+// and at zero the lane wakes to Ready. It returns true when the lane
+// woke.
+func (t *Table) Writeback(lane, sbid int) bool {
+	if t.state[lane] != Stalled || t.scbdID[lane] != int8(sbid) {
+		return false
+	}
+	if t.scbdCnt[lane] > 0 {
+		t.scbdCnt[lane]--
+	}
+	if t.scbdCnt[lane] == 0 {
+		t.SetState(lane, Ready)
+		return true
+	}
+	return false
+}
+
+// Yield performs the subwarp-yield transition: Active lanes in mask
+// move to Ready, eagerly relinquishing the scheduling slot. The
+// selection rotor advances to the yielded subwarp's current PC so the
+// next Select prefers a different READY subwarp.
+func (t *Table) Yield(mask bits.Mask) {
+	mask.ForEach(func(lane int) {
+		if t.state[lane] != Active {
+			panic(fmt.Sprintf("tst: subwarp-yield of lane %d in state %v", lane, t.state[lane]))
+		}
+		t.state[lane] = Ready
+	})
+	if lane := mask.Lowest(); lane >= 0 {
+		t.lastSelectedPC = t.pcs[lane]
+	}
+}
+
+// ReadySubwarp describes one selectable PC-aligned group.
+type ReadySubwarp struct {
+	PC   int
+	Mask bits.Mask
+}
+
+// ReadySubwarps returns the Ready lanes grouped by PC in ascending PC
+// order.
+func (t *Table) ReadySubwarps() []ReadySubwarp {
+	groups := make(map[int]bits.Mask)
+	t.Mask(Ready).ForEach(func(lane int) {
+		groups[t.pcs[lane]] = groups[t.pcs[lane]].Set(lane)
+	})
+	out := make([]ReadySubwarp, 0, len(groups))
+	for pc, m := range groups {
+		out = append(out, ReadySubwarp{PC: pc, Mask: m})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PC < out[j].PC })
+	return out
+}
+
+// Select performs subwarp-select: it picks the next Ready subwarp in
+// round-robin PC order after the previously selected PC, transitions
+// its lanes to Active, and returns it. ok is false when no lane is
+// Ready.
+func (t *Table) Select() (ReadySubwarp, bool) {
+	subs := t.ReadySubwarps()
+	if len(subs) == 0 {
+		return ReadySubwarp{}, false
+	}
+	pick := subs[0]
+	for _, s := range subs {
+		if s.PC > t.lastSelectedPC {
+			pick = s
+			break
+		}
+	}
+	pick.Mask.ForEach(func(lane int) { t.SetState(lane, Active) })
+	t.lastSelectedPC = pick.PC
+	return pick, true
+}
+
+// NoteActivated records which subwarp (by PC) currently executes, so
+// that Select's round-robin prefers a *different* READY subwarp next —
+// in particular, a subwarp that just yielded is least-preferred until
+// the rotation returns to it.
+func (t *Table) NoteActivated(pc int) { t.lastSelectedPC = pc }
+
+// ActivateAll is program entry: every lane in mask becomes Active.
+func (t *Table) ActivateAll(mask bits.Mask) {
+	mask.ForEach(func(lane int) { t.state[lane] = Active })
+}
+
+// Exit transitions lanes to Inactive (thread exit).
+func (t *Table) Exit(mask bits.Mask) {
+	mask.ForEach(func(lane int) { t.SetState(lane, Inactive) })
+}
+
+// Block transitions lanes from Active to Blocked (unsuccessful BSYNC).
+func (t *Table) Block(mask bits.Mask) {
+	mask.ForEach(func(lane int) {
+		if t.state[lane] != Active {
+			panic(fmt.Sprintf("tst: block of lane %d in state %v", lane, t.state[lane]))
+		}
+		t.state[lane] = Blocked
+	})
+}
+
+// Release transitions Blocked lanes to Active (barrier release).
+func (t *Table) Release(mask bits.Mask) {
+	mask.ForEach(func(lane int) {
+		if t.state[lane] != Blocked {
+			panic(fmt.Sprintf("tst: release of lane %d in state %v", lane, t.state[lane]))
+		}
+		t.state[lane] = Active
+	})
+}

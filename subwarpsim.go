@@ -1,0 +1,145 @@
+// Package subwarpsim is a cycle-level simulator of an NVIDIA
+// Turing-like GPU streaming multiprocessor implementing Subwarp
+// Interleaving (Damani et al., "GPU Subwarp Interleaving", HPCA 2022).
+//
+// Subwarp Interleaving (SI) exploits warp divergence to hide memory
+// latency: when a warp's active subwarp — a PC-aligned subset of its
+// threads — suffers a load-to-use stall, the subwarp scheduler demotes
+// it to a STALLED state and switches to another READY subwarp of the
+// same warp, overlapping long-latency operations across divergent
+// paths.
+//
+// The package exposes:
+//
+//   - the architecture configuration (Table I parameters plus SI
+//     policy knobs): DefaultConfig, Config.WithSI;
+//   - kernel construction: BuildMegakernel for the synthetic raytracing
+//     application traces, BuildMicrobenchmark for the divergence
+//     scaling microbenchmark, or hand-assembled programs via the
+//     internal/isa builder;
+//   - simulation: Run and Compare;
+//   - the paper's evaluation harness: Experiments, ExperimentByID.
+//
+// A minimal session:
+//
+//	app, _ := subwarpsim.Application("BFV1")
+//	kernel, _ := subwarpsim.BuildMegakernel(app)
+//	base, _ := subwarpsim.Run(subwarpsim.DefaultConfig(), kernel)
+//
+//	kernel, _ = subwarpsim.BuildMegakernel(app)
+//	si, _ := subwarpsim.Run(
+//		subwarpsim.DefaultConfig().WithSI(true, subwarpsim.TriggerHalfStalled),
+//		kernel)
+//
+//	fmt.Printf("SI speedup: %.1f%%\n",
+//		100*subwarpsim.Speedup(base.Counters, si.Counters))
+package subwarpsim
+
+import (
+	"subwarpsim/internal/config"
+	"subwarpsim/internal/experiments"
+	"subwarpsim/internal/gpu"
+	"subwarpsim/internal/sm"
+	"subwarpsim/internal/stats"
+	"subwarpsim/internal/workload"
+)
+
+// Config holds every architecture parameter of the simulated GPU; see
+// DefaultConfig for the paper's Table I baseline.
+type Config = config.Config
+
+// SelectTrigger picks when the subwarp scheduler triggers
+// subwarp-select on stalled warps (the paper's N knob).
+type SelectTrigger = config.SelectTrigger
+
+// Subwarp-select trigger policies (Section III-C3).
+const (
+	TriggerAnyStalled  = config.TriggerAnyStalled  // N > 0
+	TriggerHalfStalled = config.TriggerHalfStalled // N >= 0.5
+	TriggerAllStalled  = config.TriggerAllStalled  // N = 1
+)
+
+// SubwarpOrder selects which side of a divergent branch executes first.
+type SubwarpOrder = config.SubwarpOrder
+
+// Divergent-path activation orders (Section VI discusses sensitivity).
+const (
+	OrderTakenFirst       = config.OrderTakenFirst
+	OrderFallthroughFirst = config.OrderFallthroughFirst
+	OrderLargestFirst     = config.OrderLargestFirst
+	OrderRandom           = config.OrderRandom
+)
+
+// DefaultConfig returns the Table I Turing-like baseline with SI
+// disabled: 2 SMs x 4 processing blocks x 8 warp slots, 128 KB L1D,
+// 64 KB L1I, 16 KB L0I, 600-cycle L1 miss latency.
+func DefaultConfig() Config { return config.Default() }
+
+// Kernel is one launch: a program plus its functional resources.
+type Kernel = sm.Kernel
+
+// Result is the outcome of a simulation.
+type Result = gpu.Result
+
+// Counters are the raw event counts a simulation produces.
+type Counters = stats.Counters
+
+// Derived are normalized metrics (stall fractions, IPC, miss rates).
+type Derived = stats.Derived
+
+// Run simulates the kernel to completion under the configuration.
+func Run(cfg Config, kernel *Kernel) (Result, error) { return gpu.Run(cfg, kernel) }
+
+// Compare runs the kernel under two configurations on fresh state and
+// returns both results and the speedup of test over base.
+func Compare(base, test Config, mkKernel func() *Kernel) (Result, Result, float64, error) {
+	return gpu.Compare(base, test, mkKernel)
+}
+
+// Speedup returns test's speedup over base as a fraction (0.063 means
+// +6.3%).
+func Speedup(base, test Counters) float64 { return stats.Speedup(base, test) }
+
+// AppProfile parameterizes one synthetic raytracing application trace.
+type AppProfile = workload.AppProfile
+
+// Applications returns the ten raytracing trace profiles of Table II.
+func Applications() []AppProfile { return workload.Apps() }
+
+// ApplicationNames returns the trace names in paper order.
+func ApplicationNames() []string { return workload.AppNames() }
+
+// Application returns the named trace profile.
+func Application(name string) (AppProfile, error) { return workload.ProfileByName(name) }
+
+// BuildMegakernel assembles a raytracing megakernel (scene, BVH,
+// camera, program) for the profile.
+func BuildMegakernel(p AppProfile) (*Kernel, error) { return workload.Megakernel(p) }
+
+// MicrobenchParams configures the Fig. 11 divergence microbenchmark.
+type MicrobenchParams = workload.MicrobenchParams
+
+// DefaultMicrobenchmark returns the Table III parameters for a subwarp
+// size in {32, 16, 8, 4, 2, 1}.
+func DefaultMicrobenchmark(subwarpSize int) MicrobenchParams {
+	return workload.DefaultMicrobench(subwarpSize)
+}
+
+// BuildMicrobenchmark assembles the microbenchmark kernel.
+func BuildMicrobenchmark(p MicrobenchParams) (*Kernel, error) { return workload.Microbench(p) }
+
+// Experiment regenerates one of the paper's tables or figures.
+type Experiment = experiments.Experiment
+
+// ExperimentReport is a regenerated artifact with tables and values.
+type ExperimentReport = experiments.Report
+
+// ExperimentOptions tunes experiment execution.
+type ExperimentOptions = experiments.Options
+
+// Experiments returns every paper artifact regenerator, in paper order.
+func Experiments() []Experiment { return experiments.All() }
+
+// ExperimentByID looks up one experiment ("fig3", "table3", "fig12a",
+// "fig12b", "fig13", "fig14", "fig15", "icache", "order", "yield").
+func ExperimentByID(id string) (Experiment, bool) { return experiments.ByID(id) }
