@@ -5,12 +5,16 @@
 //	sisim -app Ctrl -si -trigger any      # SOS, N>0
 //	sisim -microbench 4                   # 8-way divergence microbenchmark
 //	sisim -app MW -si -latency 900 -maxsubwarps 4
+//	sisim -microbench 4 -si -trace out.json -trace-warps 0-7
+//	sisim -app BFV1 -si -timeline occupancy.csv -stalls -hist
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strconv"
 	"strings"
 
 	"subwarpsim"
@@ -29,6 +33,12 @@ func main() {
 	order := flag.String("order", "taken", "divergent path order: taken, fallthrough, largest, random")
 	listApps := flag.Bool("listapps", false, "list application traces and exit")
 	verbose := flag.Bool("v", false, "print the full counter set")
+	tracePath := flag.String("trace", "", "write a Chrome/Perfetto trace_event JSON timeline to this file")
+	traceWarps := flag.String("trace-warps", "", "restrict the trace to these global warp IDs, e.g. 0-7 or 0,4,12")
+	timeline := flag.String("timeline", "", "write per-window occupancy/IPC/TST time series CSV to this file")
+	timelineWindow := flag.Int("timeline-window", 1000, "time-series window length in cycles")
+	stalls := flag.Bool("stalls", false, "print the idle-cycle stall-attribution table")
+	hist := flag.Bool("hist", false, "print latency histograms (load-to-use, stall duration, residency)")
 	flag.Parse()
 
 	if *listApps {
@@ -90,6 +100,24 @@ func main() {
 		fail("%v", err)
 	}
 
+	// Attach the observability layer only when a trace product was
+	// requested: a nil Config.Trace keeps the hot path untouched.
+	var rec *subwarpsim.TraceRecorder
+	if *tracePath != "" || *timeline != "" || *hist {
+		rec = subwarpsim.NewTraceRecorder()
+		if *traceWarps != "" {
+			ids, perr := parseWarpList(*traceWarps)
+			if perr != nil {
+				fail("bad -trace-warps %q: %v", *traceWarps, perr)
+			}
+			rec.FilterWarps(ids)
+		}
+		if *timeline != "" {
+			rec.Series = subwarpsim.NewTimeSeries(int64(*timelineWindow))
+		}
+		cfg.Trace = rec
+	}
+
 	res, err := subwarpsim.Run(cfg, kernel)
 	if err != nil {
 		fail("%v", err)
@@ -117,6 +145,76 @@ func main() {
 	if *verbose {
 		fmt.Printf("\ncounters  %+v\n", c)
 	}
+	if *stalls {
+		fmt.Printf("\n%s", subwarpsim.StallAttribution(c))
+	}
+	if rec != nil {
+		if *hist {
+			for _, h := range rec.Histograms() {
+				fmt.Printf("\n%s", h)
+			}
+		}
+		if *tracePath != "" {
+			if err := writeFileWith(*tracePath, rec.WriteChromeTrace); err != nil {
+				fail("writing %s: %v", *tracePath, err)
+			}
+			fmt.Printf("trace     %d events -> %s (open in ui.perfetto.dev)\n",
+				rec.Len(), *tracePath)
+			if n := rec.Dropped(); n > 0 {
+				fmt.Printf("trace     %d events dropped at the cap; filter with -trace-warps\n", n)
+			}
+		}
+		if *timeline != "" {
+			if err := writeFileWith(*timeline, rec.Series.WriteCSV); err != nil {
+				fail("writing %s: %v", *timeline, err)
+			}
+			fmt.Printf("timeline  %d windows of %d cycles -> %s\n",
+				rec.Series.Len(), rec.Series.Window, *timeline)
+		}
+	}
+}
+
+// writeFileWith streams fn's output into a freshly created file.
+func writeFileWith(path string, fn func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// parseWarpList parses "0-7", "0,4,12" or mixes like "0-3,16,24-25"
+// into a sorted list of global warp IDs.
+func parseWarpList(s string) ([]int, error) {
+	var ids []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		lo, hi, found := strings.Cut(part, "-")
+		from, err := strconv.Atoi(lo)
+		if err != nil || from < 0 {
+			return nil, fmt.Errorf("bad warp ID %q", lo)
+		}
+		to := from
+		if found {
+			if to, err = strconv.Atoi(hi); err != nil || to < from {
+				return nil, fmt.Errorf("bad range %q", part)
+			}
+		}
+		for id := from; id <= to; id++ {
+			ids = append(ids, id)
+		}
+	}
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("empty warp list")
+	}
+	return ids, nil
 }
 
 func fail(format string, args ...any) {

@@ -1,25 +1,36 @@
 // Command traceview inspects a generated workload: disassembly, static
 // footprint, scene statistics, and the per-warp divergence profile
 // produced by actually tracing the first warps' rays through the BVH.
+// With -replay it additionally simulates the kernel with the event
+// recorder attached and renders an ASCII subwarp-state timeline (a
+// generalization of the paper's Fig. 10) plus the idle-cycle
+// stall-attribution table.
 //
 //	traceview -app BFV1
 //	traceview -app Ctrl -disasm
 //	traceview -microbench 2
+//	traceview -microbench 4 -replay -si -width 120
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"subwarpsim"
 )
 
 func main() {
-	app := flag.String("app", "", "application trace name (AV1..MW)")
+	appHelp := "application trace name, one of: " + strings.Join(subwarpsim.ApplicationNames(), ", ")
+	app := flag.String("app", "", appHelp)
 	micro := flag.Int("microbench", 0, "microbenchmark subwarp size (1..32)")
 	disasm := flag.Bool("disasm", false, "print the full program disassembly")
-	warps := flag.Int("warps", 8, "warps to profile for divergence")
+	warps := flag.Int("warps", 8, "warps to profile for divergence (and rows in -replay)")
+	replay := flag.Bool("replay", false, "simulate with tracing and render the subwarp-state timeline")
+	si := flag.Bool("si", false, "enable Subwarp Interleaving for -replay")
+	yield := flag.Bool("yield", false, "enable subwarp-yield for -replay")
+	width := flag.Int("width", 100, "timeline columns for -replay")
 	flag.Parse()
 
 	var kernel *subwarpsim.Kernel
@@ -29,11 +40,15 @@ func main() {
 		kernel, err = subwarpsim.BuildMicrobenchmark(subwarpsim.DefaultMicrobenchmark(*micro))
 	case *app != "":
 		var p subwarpsim.AppProfile
-		if p, err = subwarpsim.Application(*app); err == nil {
-			kernel, err = subwarpsim.BuildMegakernel(p)
+		if p, err = subwarpsim.Application(*app); err != nil {
+			fmt.Fprintf(os.Stderr, "traceview: %v\nvalid -app names: %s\n",
+				err, strings.Join(subwarpsim.ApplicationNames(), ", "))
+			os.Exit(1)
 		}
+		kernel, err = subwarpsim.BuildMegakernel(p)
 	default:
 		fmt.Fprintln(os.Stderr, "choose -app <name> or -microbench <subwarp size>")
+		fmt.Fprintf(os.Stderr, "valid -app names: %s\n", strings.Join(subwarpsim.ApplicationNames(), ", "))
 		os.Exit(2)
 	}
 	if err != nil {
@@ -56,6 +71,30 @@ func main() {
 		fmt.Println()
 		fmt.Print(prog.Disassemble())
 	}
+
+	if *replay {
+		replayTimeline(kernel, *si, *yield, *warps, *width)
+	}
+}
+
+// replayTimeline runs the kernel with the event recorder attached and
+// prints the reconstructed subwarp-state chart and stall attribution.
+func replayTimeline(kernel *subwarpsim.Kernel, si, yield bool, warps, width int) {
+	cfg := subwarpsim.DefaultConfig()
+	if si {
+		cfg = cfg.WithSI(yield, subwarpsim.TriggerHalfStalled)
+	}
+	rec := subwarpsim.NewTraceRecorder()
+	cfg.Trace = rec
+	res, err := subwarpsim.Run(cfg, kernel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nreplay      %s, %d cycles, %d events recorded\n",
+		cfg.PolicyName(), res.Counters.Cycles, rec.Len())
+	fmt.Print(rec.ASCIITimeline(subwarpsim.TimelineOptions{Width: width, MaxWarps: warps}))
+	fmt.Printf("\n%s", subwarpsim.StallAttribution(res.Counters))
 }
 
 // profileDivergence traces each warp's 32 primary rays and reports how

@@ -6,6 +6,8 @@ package config
 import (
 	"errors"
 	"fmt"
+
+	"subwarpsim/internal/trace"
 )
 
 // SelectTrigger encodes when the subwarp scheduler triggers a
@@ -149,6 +151,13 @@ type Config struct {
 
 	// Subwarp Interleaving.
 	SI SI
+
+	// Trace optionally attaches the observability layer's event
+	// recorder to the run. It is not an architecture parameter: nil
+	// (the default) disables tracing entirely, and every hot-path
+	// emission site gates on a single nil check, so simulation results
+	// and performance are unchanged when unset.
+	Trace *trace.Recorder
 }
 
 // Default returns the paper's baseline Turing-like configuration

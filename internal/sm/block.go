@@ -5,10 +5,12 @@ import (
 	"math"
 	"math/rand"
 
+	"subwarpsim/internal/bits"
 	"subwarpsim/internal/config"
 	"subwarpsim/internal/isa"
 	"subwarpsim/internal/mem"
 	"subwarpsim/internal/stats"
+	"subwarpsim/internal/trace"
 	"subwarpsim/internal/tst"
 )
 
@@ -74,6 +76,8 @@ type idleSummary struct {
 	loadStall    bool
 	loadStallDiv bool
 	fetchWaiters int64
+	selecting    bool // switch latency in flight, or a READY subwarp awaits select
+	blocked      bool // a live warp has lanes blocked at a convergence barrier
 }
 
 // Block is one processing block: up to WarpSlotsPerBlock resident
@@ -95,6 +99,10 @@ type Block struct {
 	statuses   []issueClass // scratch, refreshed each stepped cycle
 	done       bool
 
+	// rec is the optional observability recorder (cfg.Trace); nil when
+	// tracing is off, so every emission site costs one nil check.
+	rec *trace.Recorder
+
 	// fetchPortFreeAt models the block's single L0I fill port: one line
 	// transfer at a time, so interleaved fetch streams that miss the L0
 	// queue up — the second-order fetch cost of frequent subwarp
@@ -110,7 +118,14 @@ func newBlock(id int, cfg config.Config, owner *SM) *Block {
 		l0i:      mem.NewCache("L0I", cfg.L0InstrBytes, 4, cfg.CacheLineBytes),
 		rng:      rand.New(rand.NewSource(int64(owner.id*1000 + id + 1))),
 		statuses: make([]issueClass, 0, cfg.WarpSlotsPerBlock),
+		rec:      cfg.Trace,
 	}
+}
+
+// emit forwards one pipeline event to the recorder. Callers must have
+// checked b.rec != nil.
+func (b *Block) emit(cycle int64, w *Warp, pc int, mask bits.Mask, kind trace.Kind, arg int) {
+	b.rec.Emit(cycle, b.sm.id, b.id, int32(w.ID), int32(pc), mask, kind, int32(arg))
 }
 
 // admit places a warp spec into a slot (up to the resident limit) or
@@ -161,7 +176,7 @@ func (b *Block) step(now int64) (issued bool, next int64) {
 	for _, w := range b.warps {
 		st := b.status(w, now)
 		if st == classScbdWait && b.cfg.SI.Enabled {
-			if b.demote(w) {
+			if b.demote(w, now) {
 				st = classNoActive
 			}
 		}
@@ -177,6 +192,11 @@ func (b *Block) step(now int64) (issued bool, next int64) {
 		b.counters.IssueCycles++
 	} else {
 		b.addIdle(b.classify(), 1)
+	}
+
+	if b.rec != nil {
+		occ, subs, fill := b.sampleState()
+		b.rec.Sample(now, occ, subs, fill, issued)
 	}
 
 	b.retireExited()
@@ -197,19 +217,37 @@ func (b *Block) skipIdle(gap int64, endCycle int64) {
 	}
 	b.addIdle(b.classify(), gap)
 	b.counters.Cycles = endCycle
+	if b.rec != nil {
+		occ, subs, fill := b.sampleState()
+		b.rec.SampleGap(endCycle-gap, endCycle, occ, subs, fill)
+	}
+}
+
+// sampleState gathers the block's time-series sample: live resident
+// warps, live subwarps across them, and occupied TST (stalled) entries.
+func (b *Block) sampleState() (occ, subs, fill int) {
+	for _, w := range b.warps {
+		if w.exited {
+			continue
+		}
+		occ++
+		subs += w.tab.LiveSubwarps()
+		fill += w.tab.StalledSubwarps()
+	}
+	return occ, subs, fill
 }
 
 // drainEvents applies all writebacks due at or before now.
 func (b *Block) drainEvents(now int64) {
 	for len(b.events) > 0 && b.events[0].at <= now {
 		ev := heap.Pop(&b.events).(wbEvent)
-		b.applyWriteback(ev)
+		b.applyWriteback(ev, now)
 	}
 }
 
 // applyWriteback writes the register, releases the scoreboard, and
 // broadcasts to the TST (subwarp-wakeup, Fig. 8b).
-func (b *Block) applyWriteback(ev wbEvent) {
+func (b *Block) applyWriteback(ev wbEvent, now int64) {
 	w := ev.warp
 	val := ev.val
 	if ev.kind != wbTrace {
@@ -217,8 +255,20 @@ func (b *Block) applyWriteback(ev wbEvent) {
 	}
 	w.regs[ev.lane][ev.reg] = val
 	w.sb.Dec(ev.lane, int(ev.sbid))
-	if w.tab.Writeback(ev.lane, int(ev.sbid)) {
+	woke := w.tab.Writeback(ev.lane, int(ev.sbid))
+	if woke {
 		b.counters.SubwarpWakeups++
+	}
+	if b.rec != nil {
+		lane := bits.LaneMask(ev.lane)
+		pc := w.pcs[ev.lane]
+		b.emit(now, w, pc, lane, trace.KindWriteback, int(ev.sbid))
+		if w.sb.LaneCount(ev.lane, int(ev.sbid)) == 0 {
+			b.emit(now, w, pc, lane, trace.KindScbdRelease, int(ev.sbid))
+		}
+		if woke {
+			b.emit(now, w, pc, lane, trace.KindWakeup, int(ev.sbid))
+		}
 	}
 }
 
@@ -234,6 +284,9 @@ func (b *Block) completeSelections(now int64) {
 			w.activate(sub.Mask, sub.PC)
 			b.counters.SubwarpSelects++
 			b.counters.SelectBusy += int64(b.cfg.SI.SwitchLatency)
+			if b.rec != nil {
+				b.emit(now, w, sub.PC, sub.Mask, trace.KindSelect, b.cfg.SI.SwitchLatency)
+			}
 		}
 	}
 }
@@ -286,6 +339,9 @@ func (b *Block) status(w *Warp, now int64) issueClass {
 			}
 		}
 		if readyAt > now {
+			if b.rec != nil {
+				b.emit(now, w, w.activePC, w.active, trace.KindFetchMiss, int(readyAt-now))
+			}
 			w.fetchReadyAt = readyAt
 			w.fetchingLine = line
 			return classFetchWait
@@ -312,7 +368,7 @@ func (b *Block) status(w *Warp, now int64) issueClass {
 // blocking scoreboard in the TST and transitions to STALLED, freeing
 // the warp's scheduling slot for other subwarps. Returns false on TST
 // overflow (Fig. 15's limited-entry configurations).
-func (b *Block) demote(w *Warp) bool {
+func (b *Block) demote(w *Warp, now int64) bool {
 	// Demotion exists to free the warp's slot for other subwarps; when
 	// none is READY there is nothing to switch to, and staying put lets
 	// the warp resume directly on writeback instead of waiting for a
@@ -338,6 +394,9 @@ func (b *Block) demote(w *Warp) bool {
 		return false
 	}
 	b.counters.SubwarpStalls++
+	if b.rec != nil {
+		b.emit(now, w, w.activePC, w.active, trace.KindStall, sbid)
+	}
 	w.dropActive()
 	return true
 }
@@ -370,6 +429,9 @@ func (b *Block) maybeTriggerSelect(now int64) {
 		w.pendingSelect = true
 		w.selectDoneAt = now + int64(b.cfg.SI.SwitchLatency)
 		b.statuses[i] = classSelecting
+		if b.rec != nil {
+			b.emit(now, w, -1, 0, trace.KindSelectStart, b.cfg.SI.SwitchLatency)
+		}
 		return
 	}
 }
@@ -417,11 +479,22 @@ func (b *Block) classify() idleSummary {
 				s.loadStallDiv = true
 			}
 		case classNoActive, classSelecting:
+			if b.statuses[i] == classSelecting {
+				s.selecting = true
+			}
 			if !w.tab.Mask(tst.Stalled).Empty() {
 				s.loadStall = true
 				if w.Diverged() {
 					s.loadStallDiv = true
 				}
+			} else if !w.tab.Mask(tst.Ready).Empty() {
+				// A READY subwarp waits for the select trigger policy to
+				// fire: scheduler-induced idleness, charged to the
+				// switch bucket.
+				s.selecting = true
+			}
+			if !w.tab.Mask(tst.Blocked).Empty() {
+				s.blocked = true
 			}
 		case classFetchWait:
 			s.fetchWaiters++
@@ -430,7 +503,11 @@ func (b *Block) classify() idleSummary {
 	return s
 }
 
-// addIdle charges n idle cycles with the given classification.
+// addIdle charges n idle cycles with the given classification. The
+// Exposed*/BarrierStallCycles counters keep the paper's Fig. 3 metric;
+// the Idle*Cycles buckets are the finer, mutually exclusive
+// attribution (load > fetch > switch > barrier > no-warp) that
+// stats.StallAttribution reports — they always sum to IdleCycles.
 func (b *Block) addIdle(s idleSummary, n int64) {
 	b.counters.IdleCycles += n
 	b.counters.FetchStallCycles += s.fetchWaiters * n
@@ -444,6 +521,18 @@ func (b *Block) addIdle(s idleSummary, n int64) {
 		b.counters.ExposedFetchStalls += n
 	default:
 		b.counters.BarrierStallCycles += n
+	}
+	switch {
+	case s.loadStall:
+		b.counters.IdleLoadCycles += n
+	case s.fetchWaiters > 0:
+		b.counters.IdleFetchCycles += n
+	case s.selecting:
+		b.counters.IdleSwitchCycles += n
+	case s.blocked:
+		b.counters.IdleBarrierCycles += n
+	default:
+		b.counters.IdleNoWarpCycles += n
 	}
 }
 

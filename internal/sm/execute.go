@@ -9,6 +9,7 @@ import (
 	"subwarpsim/internal/bits"
 	"subwarpsim/internal/config"
 	"subwarpsim/internal/isa"
+	"subwarpsim/internal/trace"
 	"subwarpsim/internal/tst"
 )
 
@@ -23,6 +24,9 @@ func (b *Block) execute(w *Warp, in isa.Instr, now int64) {
 	b.counters.IssuedInstrs++
 	b.counters.ActiveThreads += int64(mask.Count())
 	pc := w.activePC
+	if b.rec != nil {
+		b.emit(now, w, pc, mask, trace.KindIssue, int(in.Op))
+	}
 
 	switch in.Op {
 	case isa.NOP:
@@ -95,10 +99,10 @@ func (b *Block) execute(w *Warp, in isa.Instr, now int64) {
 		b.executeTrace(w, in, now)
 
 	case isa.BRA:
-		b.executeBranch(w, in)
+		b.executeBranch(w, in, now)
 
 	case isa.BRX:
-		b.executeBrx(w, in)
+		b.executeBrx(w, in, now)
 
 	case isa.BSSY:
 		w.barriers[in.Barrier] = w.barriers[in.Barrier].Union(mask)
@@ -110,10 +114,13 @@ func (b *Block) execute(w *Warp, in isa.Instr, now int64) {
 	case isa.YIELD:
 		w.setActivePCs(pc + 1)
 		if b.cfg.SI.Enabled && b.cfg.SI.Yield && !w.tab.Mask(tst.Ready).Empty() {
-			b.yield(w)
+			b.yield(w, now)
 		}
 
 	case isa.EXIT:
+		if b.rec != nil {
+			b.emit(now, w, pc, mask, trace.KindExit, 0)
+		}
 		w.tab.Exit(mask)
 		w.dropActive()
 		w.checkExit()
@@ -170,6 +177,9 @@ func (b *Block) executeLoad(w *Warp, in isa.Instr, now int64) {
 	mask := w.active
 	sbid := int(in.WrScbd)
 	w.sb.Inc(mask, sbid)
+	if b.rec != nil {
+		b.emit(now, w, w.activePC, mask, trace.KindScbdSet, sbid)
+	}
 
 	isTex := in.Op.IsTexPath()
 	kind := wbLoad
@@ -210,7 +220,7 @@ func (b *Block) executeLoad(w *Warp, in isa.Instr, now int64) {
 	})
 
 	w.setActivePCs(w.activePC + 1)
-	b.afterLongOp(w)
+	b.afterLongOp(w, now)
 }
 
 // executeTrace offloads a TraceRay per thread to the RT core; each
@@ -221,11 +231,18 @@ func (b *Block) executeTrace(w *Warp, in isa.Instr, now int64) {
 	}
 	mask := w.active
 	w.sb.Inc(mask, int(in.WrScbd))
+	if b.rec != nil {
+		b.emit(now, w, w.activePC, mask, trace.KindScbdSet, int(in.WrScbd))
+	}
+	maxLat := int64(0)
 	mask.ForEach(func(l int) {
 		rayID := w.regs[l][in.SrcA]
 		hit, lat := b.sm.rt.Trace(rayID)
 		b.counters.RTTraces++
 		b.counters.RTTraversalSteps += int64(hit.Steps)
+		if lat > maxLat {
+			maxLat = lat
+		}
 		val := uint32(0) // miss
 		if hit.Ok {
 			val = uint32(hit.Material + 1)
@@ -235,15 +252,18 @@ func (b *Block) executeTrace(w *Warp, in isa.Instr, now int64) {
 			reg: in.Dst, sbid: in.WrScbd, kind: wbTrace, val: val,
 		})
 	})
+	if b.rec != nil {
+		b.emit(now, w, w.activePC, mask, trace.KindRTStart, int(maxLat))
+	}
 	w.setActivePCs(w.activePC + 1)
-	b.afterLongOp(w)
+	b.afterLongOp(w, now)
 }
 
 // afterLongOp applies the hardware subwarp-yield policy: after the
 // active subwarp has issued YieldThreshold long-latency operations
 // since activation, it eagerly yields its slot if another subwarp is
 // READY (Section III-B).
-func (b *Block) afterLongOp(w *Warp) {
+func (b *Block) afterLongOp(w *Warp, now int64) {
 	w.longOpsSinceActivation++
 	if !b.cfg.SI.Enabled || !b.cfg.SI.Yield {
 		return
@@ -254,12 +274,15 @@ func (b *Block) afterLongOp(w *Warp) {
 	if w.tab.Mask(tst.Ready).Empty() {
 		return
 	}
-	b.yield(w)
+	b.yield(w, now)
 }
 
 // yield performs subwarp-yield on the active subwarp.
-func (b *Block) yield(w *Warp) {
+func (b *Block) yield(w *Warp, now int64) {
 	b.counters.SubwarpYields++
+	if b.rec != nil {
+		b.emit(now, w, w.activePC, w.active, trace.KindYield, 0)
+	}
 	w.tab.Yield(w.active)
 	w.dropActive()
 }
@@ -271,7 +294,7 @@ type subgroup struct {
 }
 
 // executeBranch implements BRA with predicate-driven divergence.
-func (b *Block) executeBranch(w *Warp, in isa.Instr) {
+func (b *Block) executeBranch(w *Warp, in isa.Instr, now int64) {
 	mask := w.active
 	var taken bits.Mask
 	mask.ForEach(func(l int) {
@@ -298,13 +321,13 @@ func (b *Block) executeBranch(w *Warp, in isa.Instr) {
 			{mask: taken, pc: in.Target},
 			{mask: notTaken, pc: w.activePC + 1},
 		}
-		b.splinter(w, groups, true)
+		b.splinter(w, groups, true, now)
 	}
 }
 
 // executeBrx implements the indirect branch that dispatches shader
 // subroutines: active threads group by their per-thread target PC.
-func (b *Block) executeBrx(w *Warp, in isa.Instr) {
+func (b *Block) executeBrx(w *Warp, in isa.Instr, now int64) {
 	targets := make(map[int]bits.Mask, 2)
 	w.active.ForEach(func(l int) {
 		t := int(w.regs[l][in.SrcA])
@@ -325,13 +348,13 @@ func (b *Block) executeBrx(w *Warp, in isa.Instr) {
 		groups = append(groups, subgroup{mask: m, pc: t})
 	}
 	sort.Slice(groups, func(i, j int) bool { return groups[i].pc < groups[j].pc })
-	b.splinter(w, groups, false)
+	b.splinter(w, groups, false, now)
 }
 
 // splinter applies a divergent control-flow split: per-thread PCs move
 // to their group targets, the activation-order policy elects one group
 // to stay ACTIVE, and the rest transition to READY.
-func (b *Block) splinter(w *Warp, groups []subgroup, isBRA bool) {
+func (b *Block) splinter(w *Warp, groups []subgroup, isBRA bool, now int64) {
 	b.counters.DivergentBranches++
 	for _, g := range groups {
 		g.mask.ForEach(func(l int) { w.pcs[l] = g.pc })
@@ -342,8 +365,14 @@ func (b *Block) splinter(w *Warp, groups []subgroup, isBRA bool) {
 			continue
 		}
 		g.mask.ForEach(func(l int) { w.tab.SetState(l, tst.Ready) })
+		if b.rec != nil {
+			b.emit(now, w, g.pc, g.mask, trace.KindDivergeReady, len(groups))
+		}
 	}
 	w.activate(groups[win].mask, groups[win].pc)
+	if b.rec != nil {
+		b.emit(now, w, groups[win].pc, groups[win].mask, trace.KindActivate, len(groups))
+	}
 
 	if live := int64(w.tab.LiveSubwarps()); live > b.counters.MaxLiveSubwarps {
 		b.counters.MaxLiveSubwarps = live
@@ -383,7 +412,9 @@ func (b *Block) electWinner(groups []subgroup, isBRA bool) int {
 // "an unsuccessful BSYNC" among the events that trigger subwarp-select.
 func (b *Block) switchAfterBlock(w *Warp, now int64) {
 	if !b.cfg.SI.Enabled {
-		w.selectImmediate()
+		if w.selectImmediate() && b.rec != nil {
+			b.emit(now, w, w.activePC, w.active, trace.KindActivate, 0)
+		}
 		return
 	}
 	if w.tab.Mask(tst.Ready).Empty() {
@@ -391,6 +422,9 @@ func (b *Block) switchAfterBlock(w *Warp, now int64) {
 	}
 	w.pendingSelect = true
 	w.selectDoneAt = now + int64(b.cfg.SI.SwitchLatency)
+	if b.rec != nil {
+		b.emit(now, w, -1, 0, trace.KindSelectStart, b.cfg.SI.SwitchLatency)
+	}
 }
 
 // executeBsync implements the convergence barrier wait: the arriving
@@ -427,11 +461,18 @@ func (b *Block) executeBsync(w *Warp, in isa.Instr, now int64) {
 		w.activate(joined, w.activePC+1)
 		w.barriers[bar] = 0
 		b.counters.Reconvergences++
+		if b.rec != nil {
+			b.emit(now, w, w.activePC, joined, trace.KindReconverge, bar)
+			b.emit(now, w, w.activePC, joined, trace.KindActivate, bar)
+		}
 		return
 	}
 
 	w.tab.Block(arrived)
 	w.dropActive()
+	if b.rec != nil {
+		b.emit(now, w, w.activePC, arrived, trace.KindBarrierBlock, bar)
+	}
 	b.switchAfterBlock(w, now)
 }
 
@@ -470,6 +511,10 @@ func (b *Block) releaseAfterExit(w *Warp, now int64) {
 		w.activate(waiting, pc+1)
 		w.barriers[bar] = 0
 		b.counters.Reconvergences++
+		if b.rec != nil {
+			b.emit(now, w, pc+1, waiting, trace.KindReconverge, bar)
+			b.emit(now, w, pc+1, waiting, trace.KindActivate, bar)
+		}
 		return
 	}
 	b.switchAfterBlock(w, now)

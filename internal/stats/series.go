@@ -1,0 +1,269 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"strings"
+)
+
+// histBuckets bounds the power-of-two bucket count; bucket 0 holds
+// values <= 0 and bucket i holds values in [2^(i-1), 2^i - 1], so 40
+// buckets cover every plausible cycle distance.
+const histBuckets = 40
+
+// Histogram is a power-of-two-bucketed distribution of non-negative
+// integer samples (latencies, distances, residency durations). The
+// zero value is ready to use; set Name for labeled rendering.
+type Histogram struct {
+	Name string
+
+	buckets  [histBuckets]int64
+	count    int64
+	sum      int64
+	min, max int64
+}
+
+// bucketOf maps a value to its bucket index.
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	idx := bits.Len64(uint64(v))
+	if idx >= histBuckets {
+		idx = histBuckets - 1
+	}
+	return idx
+}
+
+// BucketBounds returns the inclusive value range [lo, hi] of bucket i.
+func BucketBounds(i int) (lo, hi int64) {
+	if i <= 0 {
+		return 0, 0
+	}
+	return 1 << (i - 1), 1<<i - 1
+}
+
+// Observe adds one sample.
+func (h *Histogram) Observe(v int64) {
+	h.buckets[bucketOf(v)]++
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() int64 { return h.count }
+
+// Sum returns the total of all samples.
+func (h *Histogram) Sum() int64 { return h.sum }
+
+// Min returns the smallest sample (0 when empty).
+func (h *Histogram) Min() int64 { return h.min }
+
+// Max returns the largest sample (0 when empty).
+func (h *Histogram) Max() int64 { return h.max }
+
+// Mean returns the average sample (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Quantile returns an upper bound of the bucket containing the q-th
+// quantile (q in [0,1]). It returns 0 when the histogram is empty.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(q * float64(h.count))
+	if target >= h.count {
+		target = h.count - 1
+	}
+	seen := int64(0)
+	for i, n := range h.buckets {
+		seen += n
+		if n > 0 && seen > target {
+			_, hi := BucketBounds(i)
+			if hi > h.max {
+				hi = h.max
+			}
+			return hi
+		}
+	}
+	return h.max
+}
+
+// Merge folds o's samples into h.
+func (h *Histogram) Merge(o *Histogram) {
+	if o.count == 0 {
+		return
+	}
+	if h.count == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if h.count == 0 || o.max > h.max {
+		h.max = o.max
+	}
+	for i, n := range o.buckets {
+		h.buckets[i] += n
+	}
+	h.count += o.count
+	h.sum += o.sum
+}
+
+// String renders the non-empty buckets with proportional bars.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	name := h.Name
+	if name == "" {
+		name = "histogram"
+	}
+	fmt.Fprintf(&b, "%s (n=%d, mean=%.1f, p50<=%d, p99<=%d, max=%d)\n",
+		name, h.count, h.Mean(), h.Quantile(0.5), h.Quantile(0.99), h.max)
+	if h.count == 0 {
+		return b.String()
+	}
+	peak := int64(0)
+	for _, n := range h.buckets {
+		if n > peak {
+			peak = n
+		}
+	}
+	for i, n := range h.buckets {
+		if n == 0 {
+			continue
+		}
+		lo, hi := BucketBounds(i)
+		bar := int(40 * n / peak)
+		if bar < 1 {
+			bar = 1
+		}
+		fmt.Fprintf(&b, "  [%8d,%8d]  %8d  %s\n", lo, hi, n, strings.Repeat("#", bar))
+	}
+	return b.String()
+}
+
+// SeriesWindow accumulates per-block-cycle samples over one fixed
+// window of cycles. Weight counts sampled block-cycles; the sums divide
+// by it to give per-block-cycle means.
+type SeriesWindow struct {
+	Weight       int64 // block-cycles sampled into this window
+	OccupancySum int64 // sum of live resident warps
+	SubwarpSum   int64 // sum of live subwarps across resident warps
+	TSTFillSum   int64 // sum of occupied (stalled) TST subwarp entries
+	Issued       int64 // instructions issued within the window
+}
+
+// Occupancy returns the mean live warps per block-cycle.
+func (w SeriesWindow) Occupancy() float64 { return w.mean(w.OccupancySum) }
+
+// Subwarps returns the mean live subwarps per block-cycle.
+func (w SeriesWindow) Subwarps() float64 { return w.mean(w.SubwarpSum) }
+
+// TSTFill returns the mean occupied TST entries per block-cycle.
+func (w SeriesWindow) TSTFill() float64 { return w.mean(w.TSTFillSum) }
+
+// IPC returns issued instructions per block-cycle.
+func (w SeriesWindow) IPC() float64 { return w.mean(w.Issued) }
+
+func (w SeriesWindow) mean(sum int64) float64 {
+	if w.Weight == 0 {
+		return 0
+	}
+	return float64(sum) / float64(w.Weight)
+}
+
+// TimeSeries aggregates per-cycle samples into fixed windows of
+// Window cycles, producing occupancy / live-subwarp / IPC / TST-fill
+// curves over simulated time.
+type TimeSeries struct {
+	Window int64
+	wins   []SeriesWindow
+}
+
+// NewTimeSeries creates a series with the given window size in cycles
+// (values < 1 become 1).
+func NewTimeSeries(window int64) *TimeSeries {
+	if window < 1 {
+		window = 1
+	}
+	return &TimeSeries{Window: window}
+}
+
+func (ts *TimeSeries) win(cycle int64) *SeriesWindow {
+	idx := int(cycle / ts.Window)
+	for len(ts.wins) <= idx {
+		ts.wins = append(ts.wins, SeriesWindow{})
+	}
+	return &ts.wins[idx]
+}
+
+// Add records one block-cycle sample at the given cycle.
+func (ts *TimeSeries) Add(cycle int64, occupancy, subwarps, tstFill int, issued bool) {
+	w := ts.win(cycle)
+	w.Weight++
+	w.OccupancySum += int64(occupancy)
+	w.SubwarpSum += int64(subwarps)
+	w.TSTFillSum += int64(tstFill)
+	if issued {
+		w.Issued++
+	}
+}
+
+// AddRange records an idle span of block-cycles [from, to) during
+// which the sampled quantities were constant, distributing the weight
+// across the windows the span overlaps.
+func (ts *TimeSeries) AddRange(from, to int64, occupancy, subwarps, tstFill int) {
+	if from < 0 {
+		from = 0
+	}
+	for from < to {
+		end := (from/ts.Window + 1) * ts.Window
+		if end > to {
+			end = to
+		}
+		n := end - from
+		w := ts.win(from)
+		w.Weight += n
+		w.OccupancySum += int64(occupancy) * n
+		w.SubwarpSum += int64(subwarps) * n
+		w.TSTFillSum += int64(tstFill) * n
+		from = end
+	}
+}
+
+// Windows returns the accumulated windows in time order; index i covers
+// cycles [i*Window, (i+1)*Window).
+func (ts *TimeSeries) Windows() []SeriesWindow { return ts.wins }
+
+// Len returns the number of windows.
+func (ts *TimeSeries) Len() int { return len(ts.wins) }
+
+// WriteCSV renders the series as a CSV with one row per window.
+func (ts *TimeSeries) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "window_start,block_cycles,occupancy,live_subwarps,ipc,tst_fill"); err != nil {
+		return err
+	}
+	for i, win := range ts.wins {
+		_, err := fmt.Fprintf(w, "%d,%d,%.4f,%.4f,%.4f,%.4f\n",
+			int64(i)*ts.Window, win.Weight, win.Occupancy(), win.Subwarps(), win.IPC(), win.TSTFill())
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,170 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Error("zero-value histogram should report zeros")
+	}
+	for _, v := range []int64{1, 2, 3, 100, 600} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 || h.Sum() != 706 {
+		t.Errorf("count=%d sum=%d, want 5/706", h.Count(), h.Sum())
+	}
+	if h.Min() != 1 || h.Max() != 600 {
+		t.Errorf("min=%d max=%d, want 1/600", h.Min(), h.Max())
+	}
+	if math.Abs(h.Mean()-141.2) > 1e-9 {
+		t.Errorf("mean = %v, want 141.2", h.Mean())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	cases := []struct {
+		v      int64
+		lo, hi int64
+	}{
+		{-5, 0, 0}, {0, 0, 0}, {1, 1, 1}, {2, 2, 3}, {3, 2, 3},
+		{4, 4, 7}, {255, 128, 255}, {256, 256, 511},
+	}
+	for _, c := range cases {
+		lo, hi := BucketBounds(bucketOf(c.v))
+		if lo != c.lo || hi != c.hi {
+			t.Errorf("bucketOf(%d) bounds = [%d,%d], want [%d,%d]", c.v, lo, hi, c.lo, c.hi)
+		}
+	}
+	// Huge values clamp into the last bucket instead of panicking.
+	var h Histogram
+	h.Observe(1 << 62)
+	if h.Count() != 1 {
+		t.Error("huge value not observed")
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 99; i++ {
+		h.Observe(1)
+	}
+	h.Observe(600)
+	if q := h.Quantile(0.5); q != 1 {
+		t.Errorf("p50 = %d, want 1", q)
+	}
+	if q := h.Quantile(1); q != 600 {
+		t.Errorf("p100 = %d, want 600", q)
+	}
+	// Out-of-range q clamps rather than panicking.
+	if h.Quantile(-1) != 1 || h.Quantile(2) != 600 {
+		t.Error("quantile clamping wrong")
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	a.Observe(1)
+	a.Observe(10)
+	b.Observe(500)
+	a.Merge(&b)
+	if a.Count() != 3 || a.Min() != 1 || a.Max() != 500 || a.Sum() != 511 {
+		t.Errorf("merge wrong: n=%d min=%d max=%d sum=%d", a.Count(), a.Min(), a.Max(), a.Sum())
+	}
+	var empty Histogram
+	a.Merge(&empty) // no-op
+	if a.Count() != 3 {
+		t.Error("merging empty histogram changed count")
+	}
+	empty.Merge(&a)
+	if empty.Count() != 3 || empty.Min() != 1 {
+		t.Error("merging into empty histogram lost state")
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	var h Histogram
+	h.Name = "load-to-use"
+	h.Observe(600)
+	s := h.String()
+	if !strings.Contains(s, "load-to-use") || !strings.Contains(s, "#") {
+		t.Errorf("render missing name or bar:\n%s", s)
+	}
+}
+
+func TestTimeSeriesAdd(t *testing.T) {
+	ts := NewTimeSeries(10)
+	for c := int64(0); c < 25; c++ {
+		ts.Add(c, 4, 8, 2, c%2 == 0)
+	}
+	if ts.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", ts.Len())
+	}
+	w := ts.Windows()[0]
+	if w.Weight != 10 || w.Occupancy() != 4 || w.Subwarps() != 8 || w.TSTFill() != 2 {
+		t.Errorf("window 0 wrong: %+v", w)
+	}
+	if math.Abs(w.IPC()-0.5) > 1e-9 {
+		t.Errorf("IPC = %v, want 0.5", w.IPC())
+	}
+}
+
+func TestTimeSeriesAddRangeSplitsWindows(t *testing.T) {
+	ts := NewTimeSeries(10)
+	ts.AddRange(5, 25, 3, 6, 1) // spans windows 0, 1, 2
+	weights := []int64{5, 10, 5}
+	for i, want := range weights {
+		w := ts.Windows()[i]
+		if w.Weight != want {
+			t.Errorf("window %d weight = %d, want %d", i, w.Weight, want)
+		}
+		if w.Occupancy() != 3 || w.Subwarps() != 6 || w.TSTFill() != 1 {
+			t.Errorf("window %d means wrong: %+v", i, w)
+		}
+		if w.IPC() != 0 {
+			t.Errorf("idle range should have zero IPC, got %v", w.IPC())
+		}
+	}
+	// Total weight is conserved.
+	var total int64
+	for _, w := range ts.Windows() {
+		total += w.Weight
+	}
+	if total != 20 {
+		t.Errorf("total weight = %d, want 20", total)
+	}
+}
+
+func TestTimeSeriesZeroWindowClamped(t *testing.T) {
+	ts := NewTimeSeries(0)
+	if ts.Window != 1 {
+		t.Errorf("Window = %d, want 1", ts.Window)
+	}
+	ts.Add(3, 1, 1, 1, true)
+	if ts.Len() != 4 {
+		t.Errorf("Len = %d, want 4", ts.Len())
+	}
+}
+
+func TestTimeSeriesWriteCSV(t *testing.T) {
+	ts := NewTimeSeries(100)
+	ts.Add(0, 2, 4, 1, true)
+	ts.Add(150, 3, 3, 0, false)
+	var b strings.Builder
+	if err := ts.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines = %d, want header + 2 rows:\n%s", len(lines), b.String())
+	}
+	if lines[0] != "window_start,block_cycles,occupancy,live_subwarps,ipc,tst_fill" {
+		t.Errorf("bad header %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[2], "100,1,3.0000") {
+		t.Errorf("bad row %q", lines[2])
+	}
+}

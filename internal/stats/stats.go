@@ -9,6 +9,7 @@ package stats
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -34,6 +35,16 @@ type Counters struct {
 	FetchStallCycles           int64 // cycles the issue-selected warp waited on instruction fetch
 	ExposedFetchStalls         int64 // idle cycles attributable to instruction fetch misses
 	BarrierStallCycles         int64 // idle cycles where all warps sat at BSYNC/blocked
+
+	// Idle-cycle attribution: every idle cycle lands in exactly one of
+	// these five buckets (priority load > fetch > switch > barrier >
+	// no-warp), so their sum equals IdleCycles. StallAttribution renders
+	// the decomposition as a paper-style (Fig. 3) table.
+	IdleLoadCycles    int64 // a live warp waits on a load/texture scoreboard
+	IdleFetchCycles   int64 // an instruction-fetch miss is in flight, no load stall
+	IdleSwitchCycles  int64 // only subwarp switch latency / pending select in flight
+	IdleBarrierCycles int64 // live warps blocked at convergence barriers
+	IdleNoWarpCycles  int64 // no live resident warp had anything outstanding
 
 	// Divergence statistics.
 	DivergentBranches int64 // branch executions that splintered the warp
@@ -80,6 +91,11 @@ func (c *Counters) Merge(o Counters) {
 	c.FetchStallCycles += o.FetchStallCycles
 	c.ExposedFetchStalls += o.ExposedFetchStalls
 	c.BarrierStallCycles += o.BarrierStallCycles
+	c.IdleLoadCycles += o.IdleLoadCycles
+	c.IdleFetchCycles += o.IdleFetchCycles
+	c.IdleSwitchCycles += o.IdleSwitchCycles
+	c.IdleBarrierCycles += o.IdleBarrierCycles
+	c.IdleNoWarpCycles += o.IdleNoWarpCycles
 	c.DivergentBranches += o.DivergentBranches
 	c.Reconvergences += o.Reconvergences
 	c.SubwarpStalls += o.SubwarpStalls
@@ -158,10 +174,10 @@ func Reduction(base, test int64) float64 {
 	return 1 - float64(test)/float64(base)
 }
 
-// GeoMeanSpeedup aggregates per-application speedup fractions with the
+// MeanSpeedup aggregates per-application speedup fractions with the
 // arithmetic mean of speedup percentages, matching how the paper reports
 // "average speedup of 6.3%".
-func GeoMeanSpeedup(speedups []float64) float64 {
+func MeanSpeedup(speedups []float64) float64 {
 	if len(speedups) == 0 {
 		return 0
 	}
@@ -170,6 +186,42 @@ func GeoMeanSpeedup(speedups []float64) float64 {
 		sum += s
 	}
 	return sum / float64(len(speedups))
+}
+
+// GeoMeanSpeedup is a misnamed alias of MeanSpeedup: despite the name
+// it has always computed the arithmetic mean.
+//
+// Deprecated: use MeanSpeedup.
+func GeoMeanSpeedup(speedups []float64) float64 { return MeanSpeedup(speedups) }
+
+// StallAttribution decomposes a run's idle cycles into the five
+// attribution buckets and renders a paper-style table. The bucket rows
+// sum to IdleCycles by construction; the "% time" column is relative to
+// all block-cycles (issue + idle).
+func StallAttribution(c Counters) *Table {
+	idle := c.IdleCycles
+	total := c.IssueCycles + c.IdleCycles
+	frac := func(n, d int64) string {
+		if d == 0 {
+			return "0.0%"
+		}
+		return Percent(float64(n) / float64(d))
+	}
+	tbl := NewTable("Idle-cycle attribution", "bucket", "cycles", "% idle", "% time")
+	for _, row := range []struct {
+		name string
+		v    int64
+	}{
+		{"load-to-use stall", c.IdleLoadCycles},
+		{"instruction fetch", c.IdleFetchCycles},
+		{"subwarp switch", c.IdleSwitchCycles},
+		{"barrier wait", c.IdleBarrierCycles},
+		{"no warp", c.IdleNoWarpCycles},
+	} {
+		tbl.AddRow(row.name, fmt.Sprintf("%d", row.v), frac(row.v, idle), frac(row.v, total))
+	}
+	tbl.AddRow("total idle", fmt.Sprintf("%d", idle), frac(idle, idle), frac(idle, total))
+	return tbl
 }
 
 // Percent formats a fraction as a percentage string, e.g. "6.3%".
@@ -188,9 +240,15 @@ func NewTable(title string, header ...string) *Table {
 	return &Table{Title: title, Header: header}
 }
 
-// AddRow appends a row; short rows are padded with empty cells.
+// AddRow appends a row. Short rows are padded with empty cells; rows
+// longer than the header keep every cell and grow the rendered table
+// (earlier versions silently truncated them).
 func (t *Table) AddRow(cells ...string) {
-	row := make([]string, len(t.Header))
+	n := len(cells)
+	if n < len(t.Header) {
+		n = len(t.Header)
+	}
+	row := make([]string, n)
 	copy(row, cells)
 	t.rows = append(t.rows, row)
 }
@@ -198,17 +256,92 @@ func (t *Table) AddRow(cells ...string) {
 // NumRows returns the number of data rows added so far.
 func (t *Table) NumRows() int { return len(t.rows) }
 
-// SortRows orders rows by the given column (lexicographically).
+// numCols returns the widest row length across header and data rows.
+func (t *Table) numCols() int {
+	n := len(t.Header)
+	for _, r := range t.rows {
+		if len(r) > n {
+			n = len(r)
+		}
+	}
+	return n
+}
+
+// numericPrefix parses the leading numeric value of a cell, accepting
+// forms like "600", "-3", "+6.3%", "1234 cy". ok is false when the cell
+// has no numeric prefix.
+func numericPrefix(s string) (v float64, ok bool) {
+	s = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(s), "+"))
+	end := 0
+	seenDot := false
+	for i, r := range s {
+		if r >= '0' && r <= '9' {
+			end = i + 1
+			continue
+		}
+		if r == '-' && i == 0 {
+			continue
+		}
+		if r == '.' && !seenDot {
+			seenDot = true
+			continue
+		}
+		break
+	}
+	if end == 0 {
+		return 0, false
+	}
+	v, err := strconv.ParseFloat(s[:end], 64)
+	return v, err == nil
+}
+
+// SortRows orders rows by the given column. When every non-empty cell
+// in the column has a numeric prefix (plain counts, "6.3%", "600 cy"),
+// rows order by value; otherwise ordering is lexicographic. Empty and
+// missing cells sort last.
 func (t *Table) SortRows(col int) {
-	if col < 0 || col >= len(t.Header) {
+	if col < 0 || col >= t.numCols() {
 		return
 	}
-	sort.SliceStable(t.rows, func(i, j int) bool { return t.rows[i][col] < t.rows[j][col] })
+	cell := func(r []string) (string, bool) {
+		if col >= len(r) || r[col] == "" {
+			return "", false
+		}
+		return r[col], true
+	}
+	numeric := false
+	for _, r := range t.rows {
+		c, present := cell(r)
+		if !present {
+			continue
+		}
+		if _, ok := numericPrefix(c); !ok {
+			numeric = false
+			break
+		}
+		numeric = true
+	}
+	sort.SliceStable(t.rows, func(i, j int) bool {
+		ci, iok := cell(t.rows[i])
+		cj, jok := cell(t.rows[j])
+		if iok != jok {
+			return iok // rows with a value come first
+		}
+		if !iok {
+			return false
+		}
+		if numeric {
+			vi, _ := numericPrefix(ci)
+			vj, _ := numericPrefix(cj)
+			return vi < vj
+		}
+		return ci < cj
+	})
 }
 
 // String renders the table with aligned columns.
 func (t *Table) String() string {
-	widths := make([]int, len(t.Header))
+	widths := make([]int, t.numCols())
 	for i, h := range t.Header {
 		widths[i] = len(h)
 	}

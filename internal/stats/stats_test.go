@@ -105,13 +105,17 @@ func TestReduction(t *testing.T) {
 	}
 }
 
-func TestGeoMeanSpeedup(t *testing.T) {
-	if GeoMeanSpeedup(nil) != 0 {
+func TestMeanSpeedup(t *testing.T) {
+	if MeanSpeedup(nil) != 0 {
 		t.Error("empty mean should be 0")
 	}
-	got := GeoMeanSpeedup([]float64{0.02, 0.04, 0.06})
+	got := MeanSpeedup([]float64{0.02, 0.04, 0.06})
 	if math.Abs(got-0.04) > 1e-9 {
 		t.Errorf("mean = %v, want 0.04", got)
+	}
+	// Deprecated alias must keep returning the same value.
+	if GeoMeanSpeedup([]float64{0.02, 0.04, 0.06}) != got {
+		t.Error("GeoMeanSpeedup alias diverged from MeanSpeedup")
 	}
 }
 
@@ -149,6 +153,81 @@ func TestTableSortRows(t *testing.T) {
 		t.Errorf("rows not sorted:\n%s", s)
 	}
 	tbl.SortRows(99) // out of range: no-op, must not panic
+}
+
+func TestTableAddRowGrows(t *testing.T) {
+	tbl := NewTable("", "A", "B")
+	tbl.AddRow("x", "y", "extra1", "extra2") // longer than the header
+	s := tbl.String()
+	for _, want := range []string{"x", "y", "extra1", "extra2"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("long row lost cell %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestTableSortRowsNumeric(t *testing.T) {
+	tbl := NewTable("", "App", "Speedup")
+	tbl.AddRow("a", "19.8%")
+	tbl.AddRow("b", "2.0%")
+	tbl.AddRow("c", "+100.0%")
+	tbl.AddRow("d", "-3.5%")
+	tbl.SortRows(1)
+	s := tbl.String()
+	order := []string{"-3.5%", "2.0%", "19.8%", "+100.0%"}
+	last := -1
+	for _, v := range order {
+		at := strings.Index(s, v)
+		if at < last {
+			t.Fatalf("numeric sort wrong, want order %v:\n%s", order, s)
+		}
+		last = at
+	}
+}
+
+func TestTableSortRowsNumericMissingCellsLast(t *testing.T) {
+	tbl := NewTable("", "App", "Cycles")
+	tbl.AddRow("short") // no cycles cell
+	tbl.AddRow("b", "10")
+	tbl.AddRow("a", "2")
+	tbl.SortRows(1)
+	s := tbl.String()
+	if strings.Index(s, "a") > strings.Index(s, "b") || strings.Index(s, "short") < strings.Index(s, "b") {
+		t.Errorf("missing cells should sort last:\n%s", s)
+	}
+}
+
+func TestMergeIdleBuckets(t *testing.T) {
+	a := Counters{IdleCycles: 10, IdleLoadCycles: 4, IdleFetchCycles: 3, IdleSwitchCycles: 1, IdleBarrierCycles: 1, IdleNoWarpCycles: 1}
+	b := Counters{IdleCycles: 6, IdleLoadCycles: 2, IdleFetchCycles: 1, IdleSwitchCycles: 1, IdleBarrierCycles: 1, IdleNoWarpCycles: 1}
+	a.Merge(b)
+	sum := a.IdleLoadCycles + a.IdleFetchCycles + a.IdleSwitchCycles + a.IdleBarrierCycles + a.IdleNoWarpCycles
+	if sum != a.IdleCycles {
+		t.Errorf("bucket sum %d != IdleCycles %d after merge", sum, a.IdleCycles)
+	}
+}
+
+func TestStallAttributionSums(t *testing.T) {
+	c := Counters{
+		Cycles: 1000, IdleCycles: 600,
+		IdleLoadCycles: 300, IdleFetchCycles: 150, IdleSwitchCycles: 100,
+		IdleBarrierCycles: 40, IdleNoWarpCycles: 10,
+	}
+	s := StallAttribution(c).String()
+	for _, want := range []string{"load-to-use stall", "instruction fetch", "subwarp switch", "barrier wait", "no warp", "total idle", "100.0%"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("attribution missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestMergeZeroIdentity(t *testing.T) {
+	a := Counters{Cycles: 100, IssuedInstrs: 10, MaxLiveSubwarps: 3}
+	before := a
+	a.Merge(Counters{})
+	if a != before {
+		t.Errorf("merging the zero value changed counters: %+v != %+v", a, before)
+	}
 }
 
 // Property: merging is commutative for additive fields and max fields.

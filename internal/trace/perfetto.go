@@ -1,0 +1,219 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// chromeEvent is one entry of the Chrome trace_event JSON array, the
+// format ui.perfetto.dev and chrome://tracing load directly. Timestamps
+// are microseconds; we map one simulated cycle to 1us so Perfetto's
+// time axis reads as cycles.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`
+	Dur  int64          `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Cat  string         `json:"cat,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// openSlice is a duration event under construction.
+type openSlice struct {
+	name  string
+	start int64
+	args  map[string]any
+}
+
+// WriteChromeTrace renders the recorded stream as Chrome trace_event
+// JSON: one process per SM, one thread track per warp, duration slices
+// for subwarp residency / stall periods / subwarp-select latency /
+// RT-core traversals / fetch misses, and instant markers for the
+// remaining events. Time-series windows (when sampling was enabled)
+// export as Perfetto counter tracks.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	out := chromeTrace{DisplayTimeUnit: "ns", TraceEvents: []chromeEvent{}}
+	emit := func(e chromeEvent) { out.TraceEvents = append(out.TraceEvents, e) }
+
+	type track struct{ sm, block int }
+	tracks := map[int32]track{}
+	active := map[int32]*openSlice{}    // warp -> open residency slice
+	selecting := map[int32]*openSlice{} // warp -> open select slice
+	stalls := map[int64]*openSlice{}    // warp<<32|pc -> open stall slice
+	lastCycle := int64(0)
+
+	closeSlice := func(warp int32, s *openSlice, end int64) {
+		if s == nil {
+			return
+		}
+		dur := end - s.start
+		if dur < 1 {
+			dur = 1
+		}
+		t := tracks[warp]
+		emit(chromeEvent{Name: s.name, Ph: "X", Ts: s.start, Dur: dur,
+			Pid: t.sm, Tid: int(warp), Cat: "subwarp", Args: s.args})
+	}
+
+	for _, ev := range r.events {
+		if ev.Cycle > lastCycle {
+			lastCycle = ev.Cycle
+		}
+		if _, ok := tracks[ev.Warp]; !ok {
+			tracks[ev.Warp] = track{sm: int(ev.SM), block: int(ev.Block)}
+		}
+		switch ev.Kind {
+		case KindIssue:
+			// Lazily open a residency slice for warps that were active
+			// from launch (no explicit activate event).
+			if active[ev.Warp] == nil {
+				active[ev.Warp] = &openSlice{
+					name:  fmt.Sprintf("active pc=%d lanes=%d", ev.PC, ev.Mask.Count()),
+					start: ev.Cycle,
+					args:  map[string]any{"pc": ev.PC, "lanes": ev.Mask.Count()},
+				}
+			}
+		case KindActivate, KindSelect:
+			closeSlice(ev.Warp, active[ev.Warp], ev.Cycle)
+			active[ev.Warp] = &openSlice{
+				name:  fmt.Sprintf("active pc=%d lanes=%d", ev.PC, ev.Mask.Count()),
+				start: ev.Cycle,
+				args:  map[string]any{"pc": ev.PC, "lanes": ev.Mask.Count()},
+			}
+			if ev.Kind == KindSelect {
+				closeSlice(ev.Warp, selecting[ev.Warp], ev.Cycle)
+				delete(selecting, ev.Warp)
+				emit(r.instant(ev, "subwarp-select", tracks[ev.Warp].sm))
+			}
+			// A select completion also ends any stall slice of the
+			// activated subwarp that never saw a wakeup event.
+			key := int64(ev.Warp)<<32 | int64(uint32(ev.PC))
+			if s := stalls[key]; s != nil {
+				closeSlice(ev.Warp, s, ev.Cycle)
+				delete(stalls, key)
+			}
+		case KindSelectStart:
+			selecting[ev.Warp] = &openSlice{
+				name:  "select (switch latency)",
+				start: ev.Cycle,
+				args:  map[string]any{"latency": ev.Arg},
+			}
+		case KindStall:
+			closeSlice(ev.Warp, active[ev.Warp], ev.Cycle)
+			delete(active, ev.Warp)
+			stalls[int64(ev.Warp)<<32|int64(uint32(ev.PC))] = &openSlice{
+				name:  fmt.Sprintf("stalled pc=%d sb%d", ev.PC, ev.Arg),
+				start: ev.Cycle,
+				args:  map[string]any{"pc": ev.PC, "scoreboard": ev.Arg, "lanes": ev.Mask.Count()},
+			}
+			emit(r.instant(ev, fmt.Sprintf("subwarp-stall sb%d", ev.Arg), tracks[ev.Warp].sm))
+		case KindWakeup:
+			key := int64(ev.Warp)<<32 | int64(uint32(ev.PC))
+			if s := stalls[key]; s != nil {
+				closeSlice(ev.Warp, s, ev.Cycle)
+				delete(stalls, key)
+			}
+			emit(r.instant(ev, fmt.Sprintf("subwarp-wakeup sb%d", ev.Arg), tracks[ev.Warp].sm))
+		case KindYield:
+			closeSlice(ev.Warp, active[ev.Warp], ev.Cycle)
+			delete(active, ev.Warp)
+			emit(r.instant(ev, "subwarp-yield", tracks[ev.Warp].sm))
+		case KindBarrierBlock:
+			closeSlice(ev.Warp, active[ev.Warp], ev.Cycle)
+			delete(active, ev.Warp)
+			emit(r.instant(ev, fmt.Sprintf("barrier-block B%d", ev.Arg), tracks[ev.Warp].sm))
+		case KindExit:
+			closeSlice(ev.Warp, active[ev.Warp], ev.Cycle)
+			delete(active, ev.Warp)
+			emit(r.instant(ev, "exit", tracks[ev.Warp].sm))
+		case KindFetchMiss:
+			emit(chromeEvent{Name: "fetch miss", Ph: "X", Ts: ev.Cycle,
+				Dur: max64(int64(ev.Arg), 1), Pid: int(ev.SM), Tid: int(ev.Warp),
+				Cat: "fetch", Args: map[string]any{"pc": ev.PC}})
+		case KindRTStart:
+			emit(chromeEvent{Name: "rt trace", Ph: "X", Ts: ev.Cycle,
+				Dur: max64(int64(ev.Arg), 1), Pid: int(ev.SM), Tid: int(ev.Warp),
+				Cat: "rtcore", Args: map[string]any{"pc": ev.PC, "lanes": ev.Mask.Count()}})
+		case KindReconverge:
+			emit(r.instant(ev, "reconverge", tracks[ev.Warp].sm))
+		case KindDivergeReady:
+			emit(r.instant(ev, fmt.Sprintf("diverge pc=%d", ev.PC), tracks[ev.Warp].sm))
+		case KindScbdSet:
+			emit(r.instant(ev, fmt.Sprintf("scbd-set sb%d", ev.Arg), tracks[ev.Warp].sm))
+		case KindScbdRelease:
+			emit(r.instant(ev, fmt.Sprintf("scbd-release sb%d", ev.Arg), tracks[ev.Warp].sm))
+		case KindWriteback:
+			emit(r.instant(ev, fmt.Sprintf("writeback sb%d", ev.Arg), tracks[ev.Warp].sm))
+		}
+	}
+
+	// Close whatever is still open at the end of the run.
+	for warp, s := range active {
+		closeSlice(warp, s, lastCycle+1)
+	}
+	for warp, s := range selecting {
+		closeSlice(warp, s, lastCycle+1)
+	}
+	for key, s := range stalls {
+		closeSlice(int32(key>>32), s, lastCycle+1)
+	}
+
+	// Track naming metadata, in deterministic order.
+	warps := make([]int32, 0, len(tracks))
+	for w := range tracks {
+		warps = append(warps, w)
+	}
+	sort.Slice(warps, func(i, j int) bool { return warps[i] < warps[j] })
+	sms := map[int]bool{}
+	for _, warp := range warps {
+		t := tracks[warp]
+		if !sms[t.sm] {
+			sms[t.sm] = true
+			emit(chromeEvent{Name: "process_name", Ph: "M", Pid: t.sm,
+				Args: map[string]any{"name": fmt.Sprintf("SM %d", t.sm)}})
+		}
+		emit(chromeEvent{Name: "thread_name", Ph: "M", Pid: t.sm, Tid: int(warp),
+			Args: map[string]any{"name": fmt.Sprintf("warp %d (block %d)", warp, t.block)}})
+	}
+
+	// Time-series counter tracks.
+	if r.Series != nil {
+		for i, win := range r.Series.Windows() {
+			ts := int64(i) * r.Series.Window
+			emit(chromeEvent{Name: "occupancy", Ph: "C", Ts: ts, Pid: 0,
+				Args: map[string]any{"warps": win.Occupancy()}})
+			emit(chromeEvent{Name: "live subwarps", Ph: "C", Ts: ts, Pid: 0,
+				Args: map[string]any{"subwarps": win.Subwarps()}})
+			emit(chromeEvent{Name: "ipc", Ph: "C", Ts: ts, Pid: 0,
+				Args: map[string]any{"ipc": win.IPC()}})
+			emit(chromeEvent{Name: "tst fill", Ph: "C", Ts: ts, Pid: 0,
+				Args: map[string]any{"entries": win.TSTFill()}})
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+func (r *Recorder) instant(ev Event, name string, sm int) chromeEvent {
+	return chromeEvent{Name: name, Ph: "i", Ts: ev.Cycle, Pid: sm,
+		Tid: int(ev.Warp), S: "t", Cat: "event",
+		Args: map[string]any{"pc": ev.PC, "lanes": ev.Mask.Count()}}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,266 @@
+// Package trace is the simulator's structured observability layer: a
+// cycle-stamped event stream emitted from the SM pipeline, plus the
+// derived products built on it — Chrome/Perfetto timeline export
+// (perfetto.go), ASCII subwarp-state timelines (timeline.go), latency
+// histograms and time-series sampling (via internal/stats).
+//
+// The layer is zero-overhead when disabled: the pipeline holds a plain
+// *Recorder that is nil by default, and every emission site is gated on
+// a single nil check — no interface dispatch on the hot path. With a
+// recorder attached, individual event kinds can further be masked off
+// and the stream restricted to a set of global warp IDs, so tracing a
+// handful of warps through a large run stays cheap.
+package trace
+
+import (
+	"fmt"
+
+	"subwarpsim/internal/bits"
+	"subwarpsim/internal/stats"
+)
+
+// Kind identifies one event type in the pipeline taxonomy.
+type Kind uint8
+
+const (
+	// KindIssue: an instruction issued; Arg is the opcode.
+	KindIssue Kind = iota
+	// KindStall: subwarp-stall demotion (ACTIVE -> STALLED); Arg is the
+	// blocking scoreboard ID.
+	KindStall
+	// KindWakeup: subwarp-wakeup (STALLED -> READY) of the lane in
+	// Mask; Arg is the scoreboard ID whose count reached zero.
+	KindWakeup
+	// KindSelectStart: the subwarp scheduler initiated subwarp-select;
+	// Arg is the switch latency being paid.
+	KindSelectStart
+	// KindSelect: subwarp-select completed (READY -> ACTIVE).
+	KindSelect
+	// KindYield: subwarp-yield (ACTIVE -> READY).
+	KindYield
+	// KindActivate: a subwarp became ACTIVE by any mechanism (select,
+	// divergence election, reconvergence, barrier release).
+	KindActivate
+	// KindDivergeReady: a divergent branch parked this losing subgroup
+	// READY; Arg is the total number of subgroups the branch produced.
+	KindDivergeReady
+	// KindBarrierBlock: an unsuccessful BSYNC blocked the subwarp; Arg
+	// is the convergence barrier index.
+	KindBarrierBlock
+	// KindReconverge: a convergence barrier released and merged Mask.
+	KindReconverge
+	// KindScbdSet: a guarded long-latency op issued, incrementing the
+	// scoreboard in Arg for Mask.
+	KindScbdSet
+	// KindScbdRelease: the lane in Mask counted its scoreboard (Arg)
+	// down to zero — its dependency cleared.
+	KindScbdRelease
+	// KindWriteback: one lane's register writeback arrived; Arg is the
+	// scoreboard ID it decrements.
+	KindWriteback
+	// KindFetchMiss: instruction fetch missed the L0I; Arg is the fill
+	// latency in cycles.
+	KindFetchMiss
+	// KindRTStart: a TRACE op entered the RT core; Arg is the modeled
+	// traversal latency of the slowest lane.
+	KindRTStart
+	// KindExit: the threads in Mask exited the program.
+	KindExit
+
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	"issue", "stall", "wakeup", "select-start", "select", "yield",
+	"activate", "diverge-ready", "barrier-block", "reconverge",
+	"scbd-set", "scbd-release", "writeback", "fetch-miss", "rt-start",
+	"exit",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// AllKinds is the bitmask enabling every event kind.
+const AllKinds = 1<<numKinds - 1
+
+// Event is one cycle-stamped pipeline event.
+type Event struct {
+	Cycle int64
+	Kind  Kind
+	SM    uint8
+	Block uint8
+	Warp  int32 // global warp ID in the launch
+	PC    int32 // active-subwarp PC at the event (-1 when not applicable)
+	Mask  bits.Mask
+	Arg   int32 // kind-specific payload (scoreboard ID, latency, ...)
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("c%d sm%d.b%d.w%d %s pc=%d mask=%s arg=%d",
+		e.Cycle, e.SM, e.Block, e.Warp, e.Kind, e.PC, e.Mask, e.Arg)
+}
+
+// DefaultEventLimit caps the stored event stream so an unfiltered trace
+// of a long run degrades gracefully instead of exhausting memory.
+const DefaultEventLimit = 4 << 20
+
+// Recorder collects the event stream and maintains the derived latency
+// histograms. It is attached to a run through config.Config.Trace; a
+// nil recorder disables all tracing.
+//
+// A Recorder must only be used by one Run at a time (SMs simulate
+// sequentially, so no locking is needed).
+type Recorder struct {
+	kinds uint32
+	warps map[int32]bool // nil = record every warp
+	limit int
+
+	events  []Event
+	dropped int64
+
+	// Latency histograms, fed regardless of the kind/warp filters.
+	LoadToUse stats.Histogram // scoreboard set -> demotion distance
+	StallDur  stats.Histogram // demotion -> first wakeup duration
+	Residency stats.Histogram // subwarp activation -> deactivation
+
+	// Series receives per-block-cycle occupancy/IPC/TST samples when
+	// non-nil; see NewTimeSeries.
+	Series *stats.TimeSeries
+
+	// pairing state for the histograms
+	scbdSetAt map[int64]int64 // warp<<8 | sbid -> issue cycle
+	stallAt   map[int64]int64 // warp<<32 | pc  -> demotion cycle
+	activeAt  map[int32]int64 // warp -> activation cycle
+}
+
+// NewRecorder returns a recorder with every kind enabled, no warp
+// filter, and the default event limit.
+func NewRecorder() *Recorder {
+	return &Recorder{
+		kinds:     AllKinds,
+		limit:     DefaultEventLimit,
+		scbdSetAt: make(map[int64]int64),
+		stallAt:   make(map[int64]int64),
+		activeAt:  make(map[int32]int64),
+	}
+}
+
+// SetKinds restricts the stored stream to the given kinds. The
+// histograms keep observing every kind regardless.
+func (r *Recorder) SetKinds(kinds ...Kind) {
+	r.kinds = 0
+	for _, k := range kinds {
+		r.kinds |= 1 << k
+	}
+}
+
+// FilterWarps restricts the stored stream to the given global warp IDs;
+// an empty list removes the filter.
+func (r *Recorder) FilterWarps(ids []int) {
+	if len(ids) == 0 {
+		r.warps = nil
+		return
+	}
+	r.warps = make(map[int32]bool, len(ids))
+	for _, id := range ids {
+		r.warps[int32(id)] = true
+	}
+}
+
+// SetLimit caps the stored event count (values < 1 keep one event).
+func (r *Recorder) SetLimit(n int) {
+	if n < 1 {
+		n = 1
+	}
+	r.limit = n
+}
+
+// Events returns the recorded stream in emission order.
+func (r *Recorder) Events() []Event { return r.events }
+
+// Len returns the number of stored events.
+func (r *Recorder) Len() int { return len(r.events) }
+
+// Dropped returns how many events the limit discarded.
+func (r *Recorder) Dropped() int64 { return r.dropped }
+
+// Emit records one event. Histogram pairing always observes the event;
+// storage honors the kind mask, warp filter, and limit.
+func (r *Recorder) Emit(cycle int64, sm, block int, warp int32, pc int32, mask bits.Mask, kind Kind, arg int32) {
+	r.observe(cycle, warp, pc, kind, arg)
+	if r.kinds&(1<<kind) == 0 {
+		return
+	}
+	if r.warps != nil && !r.warps[warp] {
+		return
+	}
+	if len(r.events) >= r.limit {
+		r.dropped++
+		return
+	}
+	r.events = append(r.events, Event{
+		Cycle: cycle, Kind: kind, SM: uint8(sm), Block: uint8(block),
+		Warp: warp, PC: pc, Mask: mask, Arg: arg,
+	})
+}
+
+// observe maintains the latency histograms from the event stream.
+func (r *Recorder) observe(cycle int64, warp int32, pc int32, kind Kind, arg int32) {
+	switch kind {
+	case KindScbdSet:
+		r.scbdSetAt[int64(warp)<<8|int64(arg)] = cycle
+	case KindStall:
+		if at, ok := r.scbdSetAt[int64(warp)<<8|int64(arg)]; ok {
+			r.LoadToUse.Observe(cycle - at)
+		}
+		r.stallAt[int64(warp)<<32|int64(uint32(pc))] = cycle
+		r.closeResidency(cycle, warp)
+	case KindWakeup:
+		key := int64(warp)<<32 | int64(uint32(pc))
+		if at, ok := r.stallAt[key]; ok {
+			r.StallDur.Observe(cycle - at)
+			delete(r.stallAt, key)
+		}
+	case KindActivate, KindSelect:
+		r.closeResidency(cycle, warp)
+		r.activeAt[warp] = cycle
+	case KindYield, KindBarrierBlock, KindExit:
+		r.closeResidency(cycle, warp)
+	}
+}
+
+func (r *Recorder) closeResidency(cycle int64, warp int32) {
+	if at, ok := r.activeAt[warp]; ok {
+		r.Residency.Observe(cycle - at)
+		delete(r.activeAt, warp)
+	}
+}
+
+// Sample feeds one stepped block-cycle into the time series (no-op
+// without one).
+func (r *Recorder) Sample(cycle int64, occupancy, subwarps, tstFill int, issued bool) {
+	if r.Series != nil {
+		r.Series.Add(cycle, occupancy, subwarps, tstFill, issued)
+	}
+}
+
+// SampleGap feeds a fast-forwarded idle span [from, to) of block-cycles
+// during which the sampled quantities were constant.
+func (r *Recorder) SampleGap(from, to int64, occupancy, subwarps, tstFill int) {
+	if r.Series != nil {
+		r.Series.AddRange(from, to, occupancy, subwarps, tstFill)
+	}
+}
+
+// Histograms returns the recorder's latency histograms, named and in
+// display order.
+func (r *Recorder) Histograms() []*stats.Histogram {
+	r.LoadToUse.Name = "load-to-use distance (cycles)"
+	r.StallDur.Name = "subwarp stall duration (cycles)"
+	r.Residency.Name = "subwarp residency (cycles)"
+	return []*stats.Histogram{&r.LoadToUse, &r.StallDur, &r.Residency}
+}

@@ -41,6 +41,7 @@ import (
 	"subwarpsim/internal/gpu"
 	"subwarpsim/internal/sm"
 	"subwarpsim/internal/stats"
+	"subwarpsim/internal/trace"
 	"subwarpsim/internal/workload"
 )
 
@@ -127,6 +128,41 @@ func DefaultMicrobenchmark(subwarpSize int) MicrobenchParams {
 
 // BuildMicrobenchmark assembles the microbenchmark kernel.
 func BuildMicrobenchmark(p MicrobenchParams) (*Kernel, error) { return workload.Microbench(p) }
+
+// TraceRecorder collects structured simulation events for the
+// observability layer. Attach one to Config.Trace before Run; leaving
+// Config.Trace nil (the default) disables tracing with zero overhead.
+type TraceRecorder = trace.Recorder
+
+// TraceEvent is one recorded simulation event: (cycle, SM, block,
+// warp, PC, lane mask, kind, argument).
+type TraceEvent = trace.Event
+
+// TraceKind identifies the type of a recorded event.
+type TraceKind = trace.Kind
+
+// TimelineOptions configures TraceRecorder.ASCIITimeline rendering.
+type TimelineOptions = trace.TimelineOptions
+
+// NewTraceRecorder returns a recorder capturing every event kind from
+// every warp, up to the default event cap.
+func NewTraceRecorder() *TraceRecorder { return trace.NewRecorder() }
+
+// Histogram is a power-of-two-bucketed latency distribution.
+type Histogram = stats.Histogram
+
+// TimeSeries accumulates windowed per-cycle samples (occupancy, live
+// subwarps, IPC, TST fill).
+type TimeSeries = stats.TimeSeries
+
+// NewTimeSeries returns a time series with the given window length in
+// cycles.
+func NewTimeSeries(window int64) *TimeSeries { return stats.NewTimeSeries(window) }
+
+// StallAttribution decomposes a run's idle cycles into the five
+// exclusive buckets (load, fetch, switch, barrier, no-warp) as a
+// printable table; the buckets sum exactly to Counters.IdleCycles.
+func StallAttribution(c Counters) *stats.Table { return stats.StallAttribution(c) }
 
 // Experiment regenerates one of the paper's tables or figures.
 type Experiment = experiments.Experiment

@@ -39,7 +39,7 @@ func main() {
 			sp*100, r[2], d.L1DMissRate*100)
 		sps = append(sps, sp)
 	}
-	fmt.Printf("mean Both,N>=0.5: %.1f%% (paper: 6.3%%)\n", stats.GeoMeanSpeedup(sps)*100)
+	fmt.Printf("mean Both,N>=0.5: %.1f%% (paper: 6.3%%)\n", stats.MeanSpeedup(sps)*100)
 }
 
 func must(err error) {

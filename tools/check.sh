@@ -1,0 +1,33 @@
+#!/bin/sh
+# check.sh — the repo's local CI gate: formatting, vet, the full test
+# suite, and a benchmark smoke run. Run from anywhere inside the repo.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+echo "ok"
+
+echo "== go vet =="
+go vet ./...
+echo "ok"
+
+echo "== go build =="
+go build ./...
+echo "ok"
+
+echo "== go test =="
+go test ./...
+
+echo "== benchmark smoke =="
+# One iteration of the cheapest figure regeneration proves the bench
+# harness still runs; timing is not asserted here.
+go test -run '^$' -bench BenchmarkFig3 -benchtime 1x .
+
+echo "all checks passed"
