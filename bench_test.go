@@ -136,6 +136,59 @@ func BenchmarkSimulationRate(b *testing.B) {
 	b.ReportMetric(float64(cycles)/float64(b.N), "sim-cycles/op")
 }
 
+// benchGPURun measures one whole-device simulation at a fixed worker
+// count, on an 8-SM device so SM-level parallelism has work to spread.
+func benchGPURun(b *testing.B, workers int) {
+	app, err := Application("Ctrl")
+	if err != nil {
+		b.Fatal(err)
+	}
+	app.NumWarps = 256
+	cfg := DefaultConfig()
+	cfg.NumSMs = 8
+	for i := 0; i < b.N; i++ {
+		k, err := BuildMegakernel(app)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := RunWorkers(cfg, k, workers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGPURunSequential simulates all SMs on one goroutine; the
+// baseline BenchmarkGPURunParallel is compared against.
+func BenchmarkGPURunSequential(b *testing.B) { benchGPURun(b, 1) }
+
+// BenchmarkGPURunParallel simulates one SM per goroutine, up to
+// GOMAXPROCS at a time. Results are bit-identical to the sequential
+// run; only wall-clock changes (no speedup on a single-core host).
+func BenchmarkGPURunParallel(b *testing.B) { benchGPURun(b, 0) }
+
+// benchSweep measures a whole experiment sweep at a fixed
+// simulation-level worker count.
+func benchSweep(b *testing.B, workers int) {
+	e, ok := experiments.ByID("fig12a")
+	if !ok {
+		b.Fatal("unknown experiment fig12a")
+	}
+	opts := experiments.Options{Quick: true, Workers: workers}
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExperimentsSweepSequential runs the Fig. 12a policy sweep
+// one simulation at a time.
+func BenchmarkExperimentsSweepSequential(b *testing.B) { benchSweep(b, 1) }
+
+// BenchmarkExperimentsSweepParallel runs the same sweep on the bounded
+// worker pool (GOMAXPROCS simulations in flight).
+func BenchmarkExperimentsSweepParallel(b *testing.B) { benchSweep(b, 0) }
+
 // BenchmarkDWSComparison regenerates the SI-vs-DWS extension study.
 func BenchmarkDWSComparison(b *testing.B) {
 	benchExperiment(b, "dws", map[string]string{

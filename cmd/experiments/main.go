@@ -20,7 +20,8 @@ import (
 func main() {
 	run := flag.String("run", "all", "comma-separated experiment IDs, or 'all'")
 	quick := flag.Bool("quick", false, "shrink workloads for a fast smoke run")
-	workers := flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+	jobs := flag.Int("j", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = sequential)")
+	workers := flag.Int("workers", 0, "alias of -j (kept for compatibility)")
 	outPath := flag.String("o", "", "also write the combined report to this file")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	flag.Parse()
@@ -46,7 +47,11 @@ func main() {
 		}
 	}
 
-	opts := experiments.Options{Quick: *quick, Workers: *workers}
+	w := *jobs
+	if w == 0 {
+		w = *workers
+	}
+	opts := experiments.Options{Quick: *quick, Workers: w}
 	var combined strings.Builder
 	for _, e := range selected {
 		start := time.Now()

@@ -31,6 +31,7 @@ func main() {
 	warpSlots := flag.Int("warpslots", 8, "warp slots per processing block (2, 4, 8)")
 	maxSubwarps := flag.Int("maxsubwarps", 0, "TST entries / subwarps per warp (0 = unlimited)")
 	order := flag.String("order", "taken", "divergent path order: taken, fallthrough, largest, random")
+	jobs := flag.Int("j", 0, "concurrent SM simulation goroutines (0 = GOMAXPROCS, 1 = sequential)")
 	listApps := flag.Bool("listapps", false, "list application traces and exit")
 	verbose := flag.Bool("v", false, "print the full counter set")
 	tracePath := flag.String("trace", "", "write a Chrome/Perfetto trace_event JSON timeline to this file")
@@ -118,7 +119,7 @@ func main() {
 		cfg.Trace = rec
 	}
 
-	res, err := subwarpsim.Run(cfg, kernel)
+	res, err := subwarpsim.RunWorkers(cfg, kernel, *jobs)
 	if err != nil {
 		fail("%v", err)
 	}

@@ -135,40 +135,38 @@ type job struct {
 	mk  func() (*sm.Kernel, error)
 }
 
-// runJobs executes simulations concurrently (each on fresh state) and
-// returns results keyed by job key.
+// runJobs executes simulations on a bounded worker pool (each job on
+// fresh kernel state) and returns results keyed by job key. Results and
+// the reported error are deterministic regardless of scheduling: every
+// job's outcome lands in a slot indexed by submission order, and the
+// error returned is the first failing job's in that order.
 func runJobs(jobs []job, workers int) (map[string]gpu.Result, error) {
-	results := make(map[string]gpu.Result, len(jobs))
-	var mu sync.Mutex
-	var firstErr error
+	slots := make([]gpu.Result, len(jobs))
+	errs := make([]error, len(jobs))
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, workers)
-	for _, j := range jobs {
+	for i, j := range jobs {
 		wg.Add(1)
-		go func(j job) {
+		go func(i int, j job) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			k, err := j.mk()
 			if err == nil {
-				var res gpu.Result
-				res, err = gpu.Run(j.cfg, k)
-				if err == nil {
-					mu.Lock()
-					results[j.key] = res
-					mu.Unlock()
-					return
-				}
+				slots[i], err = gpu.Run(j.cfg, k)
 			}
-			mu.Lock()
-			if firstErr == nil {
-				firstErr = fmt.Errorf("experiments: %s: %w", j.key, err)
-			}
-			mu.Unlock()
-		}(j)
+			errs[i] = err
+		}(i, j)
 	}
 	wg.Wait()
-	return results, firstErr
+	results := make(map[string]gpu.Result, len(jobs))
+	for i, j := range jobs {
+		if errs[i] != nil {
+			return results, fmt.Errorf("experiments: %s: %w", j.key, errs[i])
+		}
+		results[j.key] = slots[i]
+	}
+	return results, nil
 }
 
 // policies enumerates the six SI configurations of Fig. 12a/13, in the

@@ -1,0 +1,193 @@
+package gpu
+
+import (
+	"fmt"
+	"testing"
+
+	"subwarpsim/internal/config"
+	"subwarpsim/internal/isa"
+	"subwarpsim/internal/mem"
+	"subwarpsim/internal/sm"
+)
+
+// fuzzMaxCycles tightens the global simulation budget while fuzzing:
+// generated kernels are tiny, so a run that needs more cycles than
+// this is a hang, and a short budget keeps exec rates useful.
+const fuzzMaxCycles = 500_000
+
+// fuzzProgram maps fuzz bytes onto a small always-valid, always-
+// terminating kernel program. Byte by byte it picks from a menu of ALU
+// ops, scoreboarded loads/textures with consumers, private-slot
+// stores, lane-predicated divergence regions (BSSY/@!P BRA/BSYNC),
+// and bounded lane-divergent loops. Register, predicate, barrier, and
+// scoreboard indices are reduced into valid ranges by construction, so
+// any input yields a program Build accepts; interesting inputs differ
+// in control structure, not validity. BRX and TRACE stay excluded —
+// indirect branch tables and RT-core state need coordinated setup the
+// generator doesn't model.
+func fuzzProgram(data []byte) (*isa.Program, error) {
+	b := isa.NewBuilder("fuzzrun")
+	// Fixed prologue: r0 = lane, r1 = global tid, r2 = private output
+	// slot (never loaded by other threads), r3 = shared read-only table.
+	b.S2R(0, isa.SRLaneID)
+	b.S2R(1, isa.SRThreadID)
+	b.Shl(2, 1, 2)
+	b.Movi(4, 0x0080_0000)
+	b.Iadd(2, 2, 4)
+	b.Movi(3, 0x1000)
+
+	pos := 0
+	next := func() byte {
+		if pos >= len(data) {
+			return 0
+		}
+		c := data[pos]
+		pos++
+		return c
+	}
+	// reg picks from the r4..r11 working set the prologue leaves free.
+	reg := func(c byte) uint8 { return 4 + c%8 }
+
+	type region struct {
+		bar  uint8
+		join string
+	}
+	var open []region
+	labels := 0
+	sb := 0
+	for op := 0; op < 64 && pos < len(data); op++ {
+		c := next()
+		switch c % 10 {
+		case 0:
+			b.Iadd(reg(next()), reg(next()), reg(next()))
+		case 1:
+			b.Imuli(reg(next()), reg(next()), int32(next())%64)
+		case 2:
+			b.Ffma(reg(next()), reg(next()), reg(next()), reg(next()))
+		case 3: // shared-table load with a dependent consumer
+			rd := reg(next())
+			b.Ldg(rd, 3, int32(next()%64)*4, sb)
+			b.Iadd(reg(next()), rd, rd).Req(sb)
+			sb = (sb + 1) % isa.NumBarriers
+		case 4: // texture-path load with a dependent consumer
+			rd := reg(next())
+			b.Tld(rd, 3, int32(next()%64)*4, sb)
+			b.Fadd(reg(next()), rd, rd).Req(sb)
+			sb = (sb + 1) % isa.NumBarriers
+		case 5: // store to the thread's private slot
+			b.Stg(2, 0, reg(next()))
+		case 6: // open a lane-predicated divergence region
+			if len(open) >= 4 {
+				break
+			}
+			bar := uint8(len(open))
+			join := fmt.Sprintf("join%d", labels)
+			labels++
+			pred := c % 3
+			b.Isetpi(isa.CmpLT, pred, 0, int32(next()%33))
+			b.Bssy(bar, join)
+			b.BraP(pred, true, join)
+			open = append(open, region{bar: bar, join: join})
+		case 7: // close the innermost divergence region
+			if len(open) == 0 {
+				break
+			}
+			r := open[len(open)-1]
+			open = open[:len(open)-1]
+			b.Label(r.join)
+			b.Bsync(r.bar)
+		case 8: // bounded loop with lane-divergent trip counts
+			loop := fmt.Sprintf("loop%d", labels)
+			labels++
+			ctr := reg(next())
+			b.Movi(ctr, 3)
+			b.Iand(ctr, 0, ctr)
+			b.Iaddi(ctr, ctr, int32(next()%3)+1)
+			b.Label(loop)
+			b.Iaddi(ctr, ctr, -1)
+			b.Isetpi(isa.CmpGT, 3, ctr, 0)
+			b.BraP(3, false, loop)
+		case 9:
+			b.Yield()
+		}
+	}
+	for len(open) > 0 {
+		r := open[len(open)-1]
+		open = open[:len(open)-1]
+		b.Label(r.join)
+		b.Bsync(r.bar)
+	}
+	return b.Exit().Build()
+}
+
+// fuzzMemory builds the deterministic shared table generated loads
+// read from.
+func fuzzMemory() *mem.Memory {
+	m := mem.NewMemory()
+	for i := uint64(0); i < 64; i++ {
+		m.Store(0x1000+4*i, uint32(i*2654435761))
+	}
+	return m
+}
+
+// FuzzRun feeds generated kernels to the whole-device simulator and
+// checks the two properties no input may break: the simulator never
+// panics, and a parallel run is bit-identical to a sequential run of
+// the same kernel (counters, final memory image, and error outcome),
+// with SI off and on. Run errors themselves (e.g. the tightened cycle
+// budget) are tolerated as long as both worker counts agree.
+func FuzzRun(f *testing.F) {
+	old := MaxCycles
+	MaxCycles = fuzzMaxCycles
+	f.Cleanup(func() { MaxCycles = old })
+
+	f.Add([]byte{2, 0})                          // tiny straight-line kernel
+	f.Add([]byte{16, 6, 9, 3, 1, 2, 7, 5, 0})    // one divergence region around a load
+	f.Add([]byte{7, 8, 4, 4, 26, 17, 6, 20, 16}) // loop plus texture traffic
+	f.Add([]byte{
+		31, 6, 9, 6, 3, 3, 1, 8, 2, 2, 7, 4, 4, 7, 5, 5, // nested regions, loop, stores
+	})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		prog, err := fuzzProgram(data[1:])
+		if err != nil {
+			t.Fatalf("generator produced an invalid program: %v", err)
+		}
+		warps := int(data[0])%12 + 1
+		wpc := int(data[0]>>4)%4 + 1
+
+		run := func(cfg config.Config, workers int) (Result, uint64, error) {
+			k := &sm.Kernel{
+				Program:     prog,
+				NumWarps:    warps,
+				WarpsPerCTA: wpc,
+				Memory:      fuzzMemory(),
+			}
+			res, err := RunWorkers(cfg, k, workers)
+			return res, k.Memory.Fingerprint(), err
+		}
+		for _, cfg := range []config.Config{
+			config.Default(),
+			config.Default().WithSI(true, config.TriggerHalfStalled),
+		} {
+			seqRes, seqFP, seqErr := run(cfg, 1)
+			parRes, parFP, parErr := run(cfg, 4)
+			if (seqErr == nil) != (parErr == nil) {
+				t.Fatalf("error outcomes diverge: sequential %v, parallel %v", seqErr, parErr)
+			}
+			if seqErr != nil {
+				continue
+			}
+			if seqRes.Counters != parRes.Counters {
+				t.Fatalf("counters diverge:\n  sequential %+v\n  parallel   %+v",
+					seqRes.Counters, parRes.Counters)
+			}
+			if seqFP != parFP {
+				t.Fatalf("final memory images diverge: sequential %#x, parallel %#x", seqFP, parFP)
+			}
+		}
+	})
+}

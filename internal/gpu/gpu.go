@@ -5,10 +5,13 @@ package gpu
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"subwarpsim/internal/config"
 	"subwarpsim/internal/sm"
 	"subwarpsim/internal/stats"
+	"subwarpsim/internal/trace"
 )
 
 // MaxCycles bounds a single simulation; kernels that exceed it are
@@ -33,13 +36,31 @@ func (r Result) Derived() stats.Derived {
 }
 
 // Run launches the kernel on a freshly constructed GPU with the given
-// configuration and simulates to completion.
+// configuration and simulates to completion, using up to GOMAXPROCS
+// worker goroutines. It is shorthand for RunWorkers(cfg, kernel, 0).
+func Run(cfg config.Config, kernel *sm.Kernel) (Result, error) {
+	return RunWorkers(cfg, kernel, 0)
+}
+
+// RunWorkers launches the kernel on a freshly constructed GPU and
+// simulates every SM to completion on a bounded pool of workers goroutines
+// (0 means GOMAXPROCS; 1 simulates SMs one after another).
 //
 // Warps distribute round-robin across SMs, and within an SM across its
 // processing blocks; warps beyond the register-limited occupancy run as
-// follow-on waves. SMs simulate sequentially (they share only the
-// functional memory image), keeping runs deterministic.
-func Run(cfg config.Config, kernel *sm.Kernel) (Result, error) {
+// follow-on waves. SMs only share read-only launch state (program, BVH,
+// ray generator), so each simulates independently in its own goroutine:
+// every SM executes loads and stores against a private copy-on-write
+// view of the functional memory image (mem.View), and traces into a
+// private shard recorder (trace.Recorder.Child) when cfg.Trace is set.
+// After all SMs finish, views publish, counters merge, and trace shards
+// absorb in ascending SM order, so counters, derived metrics, the final
+// memory image, and exported trace streams are bit-identical for every
+// worker count and goroutine interleaving. A consequence of the
+// sharded image is that warps on different SMs never observe each
+// other's stores mid-run — like CUDA kernels without atomics, cross-SM
+// communication within a launch is undefined.
+func RunWorkers(cfg config.Config, kernel *sm.Kernel, workers int) (Result, error) {
 	res := Result{Config: cfg, Blocks: cfg.NumSMs * cfg.BlocksPerSM}
 	if err := cfg.Validate(); err != nil {
 		return res, err
@@ -47,13 +68,24 @@ func Run(cfg config.Config, kernel *sm.Kernel) (Result, error) {
 	if err := kernel.Validate(); err != nil {
 		return res, err
 	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 
+	parent := cfg.Trace
+	shards := make([]*trace.Recorder, cfg.NumSMs)
 	sms := make([]*sm.SM, cfg.NumSMs)
 	for i := range sms {
-		s, err := sm.NewSM(i, cfg, kernel)
+		smCfg := cfg
+		if parent != nil {
+			shards[i] = parent.Child()
+			smCfg.Trace = shards[i]
+		}
+		s, err := sm.NewSM(i, smCfg, kernel)
 		if err != nil {
 			return res, err
 		}
+		s.DeferMemoryPublish()
 		sms[i] = s
 	}
 
@@ -66,12 +98,45 @@ func Run(cfg config.Config, kernel *sm.Kernel) (Result, error) {
 		perSMSeq[smIdx]++
 	}
 
-	for i, s := range sms {
-		c, err := s.Run(MaxCycles)
-		if err != nil {
-			return res, fmt.Errorf("gpu: SM %d: %w", i, err)
+	maxCycles := MaxCycles
+	counters := make([]stats.Counters, len(sms))
+	errs := make([]error, len(sms))
+	if workers == 1 || len(sms) == 1 {
+		for i, s := range sms {
+			counters[i], errs[i] = s.Run(maxCycles)
+			if errs[i] != nil {
+				break // later SMs stay unsimulated, as before parallelism
+			}
 		}
-		res.Counters.Merge(c)
+	} else {
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, workers)
+		for i, s := range sms {
+			wg.Add(1)
+			go func(i int, s *sm.SM) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				counters[i], errs[i] = s.Run(maxCycles)
+			}(i, s)
+		}
+		wg.Wait()
+	}
+
+	// Deterministic epilogue: merge, publish, and absorb strictly in SM
+	// order. On error, only state up to and including the first failing
+	// SM is kept — exactly what a sequential run would have produced.
+	for i, s := range sms {
+		s.PublishMemory()
+		if parent != nil {
+			parent.Absorb(shards[i])
+		}
+		if errs[i] != nil {
+			// The failing SM's partial stores and trace are kept (it did
+			// simulate up to the failure), its counters are not.
+			return res, fmt.Errorf("gpu: SM %d: %w", i, errs[i])
+		}
+		res.Counters.Merge(counters[i])
 	}
 	return res, nil
 }

@@ -109,10 +109,14 @@ func (p *Program) validateInstr(pc int, in Instr) error {
 }
 
 // Disassemble renders the whole program, one instruction per line with
-// PC prefixes.
+// PC prefixes. The output is itself valid assembler input: the .regs
+// directive carries the register footprint, which the header comment
+// alone would lose, so Assemble(name, p.Disassemble()) reproduces the
+// program exactly.
 func (p *Program) Disassemble() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "// %s (%d instrs, %d regs/thread)\n", p.Name, len(p.Code), p.RegsPerThread)
+	fmt.Fprintf(&b, ".regs %d\n", p.RegsPerThread)
 	for pc, in := range p.Code {
 		fmt.Fprintf(&b, "%4d: %s\n", pc, in)
 	}

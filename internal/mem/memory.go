@@ -37,6 +37,83 @@ func (m *Memory) Store(addr uint64, v uint32) {
 // Written returns how many distinct words have been stored.
 func (m *Memory) Written() int { return len(m.words) }
 
+// Snapshot returns a copy of every written word, keyed by aligned
+// address.
+func (m *Memory) Snapshot() map[uint64]uint32 {
+	s := make(map[uint64]uint32, len(m.words))
+	for a, v := range m.words {
+		s[a] = v
+	}
+	return s
+}
+
+// Fingerprint returns an order-independent hash of the written image:
+// two memories with identical (address, value) sets produce identical
+// fingerprints regardless of write or iteration order. Unwritten
+// default-valued words do not contribute. Differential-equivalence
+// tests use it to assert that two runs retired the same architectural
+// result.
+func (m *Memory) Fingerprint() uint64 {
+	var fp uint64
+	for a, v := range m.words {
+		z := a ^ uint64(v)<<32 ^ uint64(v)
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		fp += z ^ (z >> 31) // commutative combine: iteration-order free
+	}
+	return fp ^ uint64(len(m.words))
+}
+
+// View is a copy-on-write overlay over a base Memory: loads read
+// through to the base until the view itself has stored the word, and
+// stores stay private to the view until Publish folds them into the
+// base.
+//
+// Views are the unit of memory sharding for parallel simulation: each
+// SM owns one view, so concurrent SMs never touch the shared image
+// while running, and gpu.Run publishes the views in SM order afterwards
+// — making the final image deterministic even for overlapping writes
+// (higher-numbered SMs win, exactly as when SMs simulated one after
+// another). Warps on different SMs consequently do not observe each
+// other's stores mid-run; like CUDA kernels without atomics, cross-SM
+// communication within a launch is undefined and unsupported.
+type View struct {
+	base  *Memory
+	words map[uint64]uint32
+}
+
+// NewView returns a fresh copy-on-write view of m.
+func (m *Memory) NewView() *View {
+	return &View{base: m, words: make(map[uint64]uint32)}
+}
+
+// Load returns the 32-bit word at addr: the view's own store if one
+// happened, the base image otherwise.
+func (v *View) Load(addr uint64) uint32 {
+	a := align(addr)
+	if val, ok := v.words[a]; ok {
+		return val
+	}
+	return v.base.Load(a)
+}
+
+// Store writes a 32-bit word at addr into the view only.
+func (v *View) Store(addr uint64, val uint32) {
+	v.words[align(addr)] = val
+}
+
+// Written returns how many distinct words this view has stored.
+func (v *View) Written() int { return len(v.words) }
+
+// Publish folds the view's writes into the base image. Callers
+// coordinate ordering: publishing concurrently with loads or other
+// publishes on the same base is a data race.
+func (v *View) Publish() {
+	for a, val := range v.words {
+		v.base.words[a] = val
+	}
+}
+
 // DefaultValue is the deterministic content of unwritten memory:
 // a 32-bit mix of the address (splitmix-style), stable across runs.
 func DefaultValue(addr uint64) uint32 {

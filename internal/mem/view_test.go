@@ -1,0 +1,76 @@
+package mem
+
+import "testing"
+
+func TestViewIsolatesStoresUntilPublish(t *testing.T) {
+	base := NewMemory()
+	base.Store(0x100, 7)
+
+	v := base.NewView()
+	if got := v.Load(0x100); got != 7 {
+		t.Fatalf("view Load(0x100) = %d, want base value 7", got)
+	}
+	v.Store(0x100, 42)
+	v.Store(0x200, 9)
+	if got := v.Load(0x100); got != 42 {
+		t.Fatalf("view Load(0x100) = %d after private store, want 42", got)
+	}
+	if got := base.Load(0x100); got != 7 {
+		t.Fatalf("base Load(0x100) = %d before Publish, want 7", got)
+	}
+	if base.Written() != 1 {
+		t.Fatalf("base Written = %d before Publish, want 1", base.Written())
+	}
+	if v.Written() != 2 {
+		t.Fatalf("view Written = %d, want 2", v.Written())
+	}
+
+	v.Publish()
+	if got := base.Load(0x100); got != 42 {
+		t.Fatalf("base Load(0x100) = %d after Publish, want 42", got)
+	}
+	if got := base.Load(0x200); got != 9 {
+		t.Fatalf("base Load(0x200) = %d after Publish, want 9", got)
+	}
+}
+
+func TestViewPublishOrderResolvesConflicts(t *testing.T) {
+	// gpu.RunWorkers publishes views in ascending SM order; the
+	// later-published view must win conflicting words, matching what
+	// sequential simulation produced.
+	base := NewMemory()
+	v0 := base.NewView()
+	v1 := base.NewView()
+	v0.Store(0x40, 1)
+	v1.Store(0x40, 2)
+	v0.Publish()
+	v1.Publish()
+	if got := base.Load(0x40); got != 2 {
+		t.Fatalf("base Load(0x40) = %d, want later-published 2", got)
+	}
+}
+
+func TestViewLoadFallsThroughToDefault(t *testing.T) {
+	base := NewMemory()
+	v := base.NewView()
+	if got, want := v.Load(0x1234), base.Load(0x1234); got != want {
+		t.Fatalf("view Load = %#x, want base default %#x", got, want)
+	}
+}
+
+func TestFingerprintOrderIndependent(t *testing.T) {
+	a, b := NewMemory(), NewMemory()
+	for i := uint64(0); i < 64; i++ {
+		a.Store(i*4, uint32(i))
+	}
+	for i := int64(63); i >= 0; i-- {
+		b.Store(uint64(i)*4, uint32(i))
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("fingerprints differ for identical images written in opposite orders")
+	}
+	b.Store(0x1000, 5)
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("fingerprints collide across different images")
+	}
+}

@@ -251,7 +251,7 @@ func (b *Block) applyWriteback(ev wbEvent, now int64) {
 	w := ev.warp
 	val := ev.val
 	if ev.kind != wbTrace {
-		val = b.sm.kernel.Memory.Load(ev.addr)
+		val = b.sm.mem.Load(ev.addr)
 	}
 	w.regs[ev.lane][ev.reg] = val
 	w.sb.Dec(ev.lane, int(ev.sbid))

@@ -91,7 +91,7 @@ func (b *Block) execute(w *Warp, in isa.Instr, now int64) {
 	case isa.STG:
 		mask.ForEach(func(l int) {
 			addr := uint64(w.regs[l][in.SrcA]) + uint64(uint32(in.Imm))
-			b.sm.kernel.Memory.Store(addr, w.regs[l][in.SrcB])
+			b.sm.mem.Store(addr, w.regs[l][in.SrcB])
 		})
 		w.setActivePCs(pc + 1)
 

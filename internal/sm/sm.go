@@ -82,6 +82,15 @@ type SM struct {
 	l1d    *mem.Cache
 	rt     *rtcore.Core
 	blocks []*Block
+
+	// mem is the SM's private copy-on-write view of the kernel's
+	// functional memory image; it is what makes SMs safe to simulate
+	// concurrently (see mem.View).
+	mem *mem.View
+	// deferPublish suppresses the automatic view publication at the end
+	// of Run; gpu.Run sets it and publishes every SM's view itself, in
+	// SM order, after all SMs finish.
+	deferPublish bool
 }
 
 // NewSM builds an SM for the given kernel. The configuration must be
@@ -104,6 +113,7 @@ func NewSM(id int, cfg config.Config, kernel *Kernel) (*SM, error) {
 		kernel: kernel,
 		l1i:    mem.NewCache("L1I", cfg.L1InstrBytes, 8, cfg.CacheLineBytes),
 		l1d:    mem.NewCache("L1D", cfg.L1DataBytes, 8, cfg.CacheLineBytes),
+		mem:    kernel.Memory.NewView(),
 	}
 	if kernel.BVH != nil && kernel.RayGen != nil {
 		s.rt = rtcore.NewCore(kernel.BVH, kernel.RayGen,
@@ -140,11 +150,30 @@ func (s *SM) Admit(seq int, id, ctaID, warpInCTA int) {
 // Blocks exposes the SM's processing blocks (for tests/inspection).
 func (s *SM) Blocks() []*Block { return s.blocks }
 
+// DeferMemoryPublish suppresses the automatic publication of the SM's
+// memory view when Run finishes. gpu.Run uses it to run SMs
+// concurrently and then publish every view itself in SM order, keeping
+// the final memory image deterministic.
+func (s *SM) DeferMemoryPublish() { s.deferPublish = true }
+
+// PublishMemory folds the SM's private stores into the kernel's shared
+// memory image. It must not race with other SMs still simulating or
+// publishing against the same image.
+func (s *SM) PublishMemory() { s.mem.Publish() }
+
 // Run simulates until every admitted warp completes or maxCycles
 // elapses, returning the merged per-block counters. The run loop steps
 // all blocks in lock-step and fast-forwards through provably idle
 // regions to the next scheduled event.
+//
+// The SM executes loads and stores against its private copy-on-write
+// view of the kernel memory; unless DeferMemoryPublish was called, the
+// view is published to the shared image when Run returns (including on
+// error, matching how far the simulation got).
 func (s *SM) Run(maxCycles int64) (stats.Counters, error) {
+	if !s.deferPublish {
+		defer s.mem.Publish()
+	}
 	for _, blk := range s.blocks {
 		if len(blk.warps) == 0 && len(blk.pending) == 0 {
 			blk.done = true

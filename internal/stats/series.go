@@ -246,6 +246,27 @@ func (ts *TimeSeries) AddRange(from, to int64, occupancy, subwarps, tstFill int)
 	}
 }
 
+// Merge folds o's windows into ts window-by-window. Both series must
+// use the same Window length (the per-SM shard recorders created by
+// trace.Recorder.Child guarantee this); mismatched windows panic, as
+// resampling would silently distort the curves.
+func (ts *TimeSeries) Merge(o *TimeSeries) {
+	if o == nil || len(o.wins) == 0 {
+		return
+	}
+	if o.Window != ts.Window {
+		panic(fmt.Sprintf("stats: TimeSeries.Merge window mismatch (%d vs %d)", ts.Window, o.Window))
+	}
+	for i, ow := range o.wins {
+		w := ts.win(int64(i) * ts.Window)
+		w.Weight += ow.Weight
+		w.OccupancySum += ow.OccupancySum
+		w.SubwarpSum += ow.SubwarpSum
+		w.TSTFillSum += ow.TSTFillSum
+		w.Issued += ow.Issued
+	}
+}
+
 // Windows returns the accumulated windows in time order; index i covers
 // cycles [i*Window, (i+1)*Window).
 func (ts *TimeSeries) Windows() []SeriesWindow { return ts.wins }

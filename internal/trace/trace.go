@@ -112,8 +112,13 @@ const DefaultEventLimit = 4 << 20
 // histograms. It is attached to a run through config.Config.Trace; a
 // nil recorder disables all tracing.
 //
-// A Recorder must only be used by one Run at a time (SMs simulate
-// sequentially, so no locking is needed).
+// A Recorder is not safe for concurrent emission. SMs simulate in
+// parallel, so gpu.Run never shares one recorder across SMs: it hands
+// each SM a shard created with Child and, after every SM finishes,
+// folds the shards back with Absorb in ascending SM order. That merge
+// order makes the stored stream, drop counts, histograms, and time
+// series bit-identical regardless of how the SM goroutines interleaved
+// — and identical to a fully sequential run.
 type Recorder struct {
 	kinds uint32
 	warps map[int32]bool // nil = record every warp
@@ -168,6 +173,53 @@ func (r *Recorder) FilterWarps(ids []int) {
 	r.warps = make(map[int32]bool, len(ids))
 	for _, id := range ids {
 		r.warps[int32(id)] = true
+	}
+}
+
+// Child returns a fresh shard recorder inheriting r's kind mask, warp
+// filter, event limit, and time-series window. One run hands a child to
+// each concurrently simulated SM; Absorb folds the shards back into r.
+func (r *Recorder) Child() *Recorder {
+	c := NewRecorder()
+	c.kinds = r.kinds
+	c.limit = r.limit
+	if r.warps != nil {
+		c.warps = make(map[int32]bool, len(r.warps))
+		for id := range r.warps {
+			c.warps[id] = true
+		}
+	}
+	if r.Series != nil {
+		c.Series = stats.NewTimeSeries(r.Series.Window)
+	}
+	return c
+}
+
+// Absorb merges shard recorders into r in the order given. Callers pass
+// shards in ascending SM order so the merged stream matches what a
+// sequential simulation emitting straight into r would have stored:
+// events append shard-by-shard up to r's limit (the rest count as
+// dropped), histogram and time-series samples accumulate, and shard
+// drop counts carry over.
+func (r *Recorder) Absorb(children ...*Recorder) {
+	for _, c := range children {
+		if c == nil {
+			continue
+		}
+		for _, e := range c.events {
+			if len(r.events) >= r.limit {
+				r.dropped++
+				continue
+			}
+			r.events = append(r.events, e)
+		}
+		r.dropped += c.dropped
+		r.LoadToUse.Merge(&c.LoadToUse)
+		r.StallDur.Merge(&c.StallDur)
+		r.Residency.Merge(&c.Residency)
+		if r.Series != nil && c.Series != nil {
+			r.Series.Merge(c.Series)
+		}
 	}
 }
 

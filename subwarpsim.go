@@ -88,8 +88,18 @@ type Counters = stats.Counters
 // Derived are normalized metrics (stall fractions, IPC, miss rates).
 type Derived = stats.Derived
 
-// Run simulates the kernel to completion under the configuration.
+// Run simulates the kernel to completion under the configuration,
+// simulating SMs concurrently on up to GOMAXPROCS goroutines. Results
+// are bit-identical to a sequential run (see RunWorkers).
 func Run(cfg Config, kernel *Kernel) (Result, error) { return gpu.Run(cfg, kernel) }
+
+// RunWorkers simulates the kernel with an explicit bound on concurrent
+// SM simulation goroutines: 0 means GOMAXPROCS, 1 simulates SMs
+// sequentially. Counters, derived metrics, the final memory image, and
+// trace streams are bit-identical for every worker count.
+func RunWorkers(cfg Config, kernel *Kernel, workers int) (Result, error) {
+	return gpu.RunWorkers(cfg, kernel, workers)
+}
 
 // Compare runs the kernel under two configurations on fresh state and
 // returns both results and the speedup of test over base.

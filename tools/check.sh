@@ -25,6 +25,18 @@ echo "ok"
 echo "== go test =="
 go test ./...
 
+echo "== go test -race =="
+# The whole suite again under the race detector: gpu.RunWorkers
+# simulates SMs on concurrent goroutines and the experiments pool runs
+# concurrent simulations, so every data race is a correctness bug here.
+go test -race ./...
+
+echo "== determinism smoke =="
+# The parallel-vs-sequential differential tests, twice, under the race
+# detector: bit-identical results must not depend on goroutine
+# interleaving.
+go test -race -count=2 -run 'TestParallelMatchesSequential|TestParallelTraceMatchesSequential' ./internal/gpu
+
 echo "== benchmark smoke =="
 # One iteration of the cheapest figure regeneration proves the bench
 # harness still runs; timing is not asserted here.

@@ -1,0 +1,14 @@
+#!/bin/sh
+# Regenerates the golden-metrics corpus under results/golden/ from the
+# current simulator output, then re-runs the golden tests to confirm the
+# refreshed corpus round-trips. Run from the repository root after any
+# deliberate change to simulated behaviour, and commit the JSON diff
+# alongside the change that caused it.
+set -eu
+cd "$(dirname "$0")/.."
+
+go test ./internal/experiments -run 'TestGolden' -count=1 -v -args -update-golden
+go test ./internal/experiments -run 'TestGolden' -count=1
+
+echo "golden corpus refreshed:"
+ls -l results/golden/
