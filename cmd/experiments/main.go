@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +25,7 @@ func main() {
 	workers := flag.Int("workers", 0, "alias of -j (kept for compatibility)")
 	outPath := flag.String("o", "", "also write the combined report to this file")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
+	timeout := flag.Duration("timeout", 0, "abort the whole run after this long (0 = no limit)")
 	flag.Parse()
 
 	if *list {
@@ -51,7 +53,13 @@ func main() {
 	if w == 0 {
 		w = *workers
 	}
-	opts := experiments.Options{Quick: *quick, Workers: w}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	opts := experiments.Options{Quick: *quick, Workers: w, Context: ctx}
 	var combined strings.Builder
 	for _, e := range selected {
 		start := time.Now()

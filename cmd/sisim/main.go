@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -18,6 +19,7 @@ import (
 	"strings"
 
 	"subwarpsim"
+	"subwarpsim/internal/simcache"
 )
 
 func main() {
@@ -40,7 +42,12 @@ func main() {
 	timelineWindow := flag.Int("timeline-window", 1000, "time-series window length in cycles")
 	stalls := flag.Bool("stalls", false, "print the idle-cycle stall-attribution table")
 	hist := flag.Bool("hist", false, "print latency histograms (load-to-use, stall duration, residency)")
+	timeout := flag.Duration("timeout", 0, "abort the simulation after this long (0 = no limit)")
+	cacheDir := flag.String("cache-dir", "", "reuse results from this content-addressed cache directory")
 	flag.Parse()
+	if flag.NArg() > 0 {
+		fail("unexpected argument %q", flag.Arg(0))
+	}
 
 	if *listApps {
 		for _, a := range subwarpsim.Applications() {
@@ -85,10 +92,17 @@ func main() {
 
 	var kernel *subwarpsim.Kernel
 	var err error
+	var workloadID string
 	switch {
-	case *micro > 0:
+	case *micro != 0 && *app != "":
+		fail("choose one workload: -app or -microbench, not both")
+	case *micro != 0:
+		// Negative and non-power-of-two sizes reach the builder so the
+		// user sees its precise validation error, not the generic usage.
+		workloadID = fmt.Sprintf("micro/%d", *micro)
 		kernel, err = subwarpsim.BuildMicrobenchmark(subwarpsim.DefaultMicrobenchmark(*micro))
 	case *app != "":
+		workloadID = "app/" + *app
 		var profile subwarpsim.AppProfile
 		profile, err = subwarpsim.Application(*app)
 		if err == nil {
@@ -119,14 +133,51 @@ func main() {
 		cfg.Trace = rec
 	}
 
-	res, err := subwarpsim.RunWorkers(cfg, kernel, *jobs)
-	if err != nil {
-		fail("%v", err)
+	// Content-addressed result reuse. Tracing bypasses the cache: a
+	// replayed Entry has counters but no event stream.
+	var cache simcache.Cache
+	var key simcache.Key
+	cached := false
+	if *cacheDir != "" && rec == nil {
+		if cache, err = simcache.NewDisk(*cacheDir); err != nil {
+			fail("%v", err)
+		}
+		key = simcache.KeyOf(cfg, kernel, workloadID)
+	}
+
+	var res subwarpsim.Result
+	if cache != nil {
+		if e, ok := cache.Get(key); ok {
+			res = subwarpsim.Result{Config: cfg, Counters: e.Counters, Blocks: e.Blocks}
+			cached = true
+		}
+	}
+	if !cached {
+		ctx := context.Background()
+		if *timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *timeout)
+			defer cancel()
+		}
+		res, err = subwarpsim.RunContext(ctx, cfg, kernel, *jobs)
+		if err != nil {
+			fail("%v", err)
+		}
+		if cache != nil {
+			cache.Put(key, simcache.Entry{
+				Policy:   cfg.PolicyName(),
+				Blocks:   res.Blocks,
+				Counters: res.Counters,
+			})
+		}
 	}
 
 	c := res.Counters
 	d := res.Derived()
 	fmt.Printf("kernel    %s\n", kernel.Program.Name)
+	if cached {
+		fmt.Printf("cache     hit %s\n", key)
+	}
 	fmt.Printf("config    %s, L1 miss %d cy, %d warp slots/block\n",
 		cfg.PolicyName(), cfg.L1MissLatency, cfg.WarpSlotsPerBlock)
 	fmt.Printf("cycles    %d\n", c.Cycles)

@@ -1,0 +1,131 @@
+package main
+
+import (
+	"errors"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildCLI compiles the sisim binary once per test into a temp dir.
+func buildCLI(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "sisim")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func runCLI(t *testing.T, bin string, args ...string) (stdout string, stderr string, code int) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	var outB, errB strings.Builder
+	cmd.Stdout, cmd.Stderr = &outB, &errB
+	err := cmd.Run()
+	if err != nil {
+		var exitErr *exec.ExitError
+		if !errors.As(err, &exitErr) {
+			t.Fatalf("run %v: %v", args, err)
+		}
+		return outB.String(), errB.String(), exitErr.ExitCode()
+	}
+	return outB.String(), errB.String(), 0
+}
+
+// TestCLIErrorPaths: every invalid invocation must exit 1 with a
+// single-line error on stderr and no partial result table on stdout.
+func TestCLIErrorPaths(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the CLI binary")
+	}
+	bin := buildCLI(t)
+
+	for name, tc := range map[string]struct {
+		args    []string
+		wantErr string
+	}{
+		"no workload":         {[]string{}, "choose a workload"},
+		"unknown app":         {[]string{"-app", "NoSuchApp"}, "NoSuchApp"},
+		"negative microbench": {[]string{"-microbench", "-3"}, "-3"},
+		"odd microbench":      {[]string{"-microbench", "5"}, "5"},
+		"both workloads":      {[]string{"-app", "BFV1", "-microbench", "4"}, "not both"},
+		"bad order":           {[]string{"-microbench", "4", "-order", "sideways"}, "sideways"},
+		"bad trigger":         {[]string{"-microbench", "4", "-si", "-trigger", "most"}, "most"},
+		"bad trace warps":     {[]string{"-microbench", "4", "-trace", "/dev/null", "-trace-warps", "x"}, "trace-warps"},
+		"stray argument":      {[]string{"-microbench", "4", "stray"}, "stray"},
+		"tiny timeout":        {[]string{"-microbench", "4", "-timeout", "1ns"}, "cancelled"},
+	} {
+		t.Run(name, func(t *testing.T) {
+			stdout, stderr, code := runCLI(t, bin, tc.args...)
+			if code != 1 {
+				t.Fatalf("exit code = %d, want 1\nstdout: %s\nstderr: %s", code, stdout, stderr)
+			}
+			if !strings.Contains(stderr, tc.wantErr) {
+				t.Errorf("stderr %q must mention %q", stderr, tc.wantErr)
+			}
+			if n := strings.Count(strings.TrimRight(stderr, "\n"), "\n"); n != 0 {
+				t.Errorf("stderr must be one line, got %d:\n%s", n+1, stderr)
+			}
+			if strings.Contains(stdout, "cycles") {
+				t.Errorf("failed run must not print a result table:\n%s", stdout)
+			}
+		})
+	}
+}
+
+// TestCLICacheRoundTrip: two runs against the same -cache-dir simulate
+// once and report identical cycle counts.
+func TestCLICacheRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the CLI binary")
+	}
+	bin := buildCLI(t)
+	dir := t.TempDir()
+	args := []string{"-microbench", "4", "-si", "-cache-dir", dir}
+
+	first, stderr, code := runCLI(t, bin, args...)
+	if code != 0 {
+		t.Fatalf("first run failed: %s", stderr)
+	}
+	if strings.Contains(first, "cache     hit") {
+		t.Fatal("first run cannot hit an empty cache")
+	}
+	second, stderr, code := runCLI(t, bin, args...)
+	if code != 0 {
+		t.Fatalf("second run failed: %s", stderr)
+	}
+	if !strings.Contains(second, "cache     hit") {
+		t.Fatalf("second run must hit the cache:\n%s", second)
+	}
+	cycles := func(out string) string {
+		for _, line := range strings.Split(out, "\n") {
+			if strings.HasPrefix(line, "cycles") {
+				return line
+			}
+		}
+		return ""
+	}
+	if c1, c2 := cycles(first), cycles(second); c1 == "" || c1 != c2 {
+		t.Errorf("cached cycles differ: %q vs %q", c1, c2)
+	}
+}
+
+// TestCLIBaselineStillRuns guards the ordinary no-flag success path.
+func TestCLIBaselineStillRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the CLI binary")
+	}
+	bin := buildCLI(t)
+	stdout, stderr, code := runCLI(t, bin, "-microbench", "4", "-timeout", "2m")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr)
+	}
+	for _, want := range []string{"kernel", "cycles", "instrs"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("output missing %q:\n%s", want, stdout)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+// Command sisimd serves the subwarp-interleaving simulator over HTTP:
+// a bounded worker pool, a content-addressed result cache, per-job
+// timeouts, and graceful draining on SIGTERM/SIGINT.
+//
+//	sisimd -addr :8477 -workers 4 -cache-dir /var/cache/sisim
+//
+// Endpoints: GET /healthz, GET /metrics, GET /v1/apps,
+// POST /v1/jobs, POST /v1/batch. See README "Serving".
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"subwarpsim/internal/server"
+	"subwarpsim/internal/simcache"
+)
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "sisimd:", err)
+	os.Exit(1)
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8477", "listen address (host:port, port 0 picks one)")
+	workers := flag.Int("workers", 0, "simulation worker pool size (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 64, "queued-job bound before submissions get 429")
+	simWorkers := flag.Int("sim-workers", 0, "SM goroutines per simulation (0 = GOMAXPROCS)")
+	cacheEntries := flag.Int("cache", 4096, "in-memory result cache entries")
+	cacheDir := flag.String("cache-dir", "", "persist results in this directory instead of memory")
+	timeout := flag.Duration("timeout", 2*time.Minute, "default per-job simulation timeout")
+	maxTimeout := flag.Duration("max-timeout", 10*time.Minute, "upper clamp on requested job timeouts")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "shutdown budget for in-flight jobs")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fail(fmt.Errorf("unexpected argument %q", flag.Arg(0)))
+	}
+
+	var cache simcache.Cache
+	if *cacheDir != "" {
+		var err error
+		if cache, err = simcache.NewDisk(*cacheDir); err != nil {
+			fail(err)
+		}
+	} else {
+		cache = simcache.NewMemory(*cacheEntries)
+	}
+
+	srv := server.New(server.Options{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		SimWorkers:     *simWorkers,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		Cache:          cache,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fail(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+
+	// The smoke test and scripts parse this line for the bound port.
+	fmt.Printf("sisimd listening on %s\n", ln.Addr())
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case sig := <-sigc:
+		fmt.Printf("sisimd: %v, draining\n", sig)
+	case err := <-errc:
+		fail(err)
+	}
+
+	// Stop accepting connections, then finish queued and in-flight jobs
+	// within the drain budget; jobs still running after it are
+	// cancelled via their contexts.
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "sisimd: shutdown:", err)
+	}
+	if err := srv.Drain(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "sisimd:", err)
+		os.Exit(1)
+	}
+	fmt.Println("sisimd: drained cleanly")
+}

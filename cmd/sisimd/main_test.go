@@ -1,0 +1,218 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// buildDaemon compiles the sisimd binary into a test temp dir.
+func buildDaemon(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "sisimd")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestDaemonSmoke drives the real binary end to end: start on an
+// ephemeral port, POST the same job twice (second must be a cache
+// hit), check health and metrics, then SIGTERM and expect a clean
+// drain.
+func TestDaemonSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the daemon binary")
+	}
+	bin := buildDaemon(t)
+
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-workers", "2")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// The first stdout line announces the bound address.
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		t.Fatalf("no startup line; stderr: %s", stderr.String())
+	}
+	line := sc.Text()
+	const prefix = "sisimd listening on "
+	if !strings.HasPrefix(line, prefix) {
+		t.Fatalf("unexpected startup line %q", line)
+	}
+	base := "http://" + strings.TrimPrefix(line, prefix)
+	go func() { // drain remaining output so the child never blocks
+		for sc.Scan() {
+		}
+	}()
+
+	if resp, err := http.Get(base + "/healthz"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %v", err, resp)
+	} else {
+		resp.Body.Close()
+	}
+
+	post := func() map[string]any {
+		t.Helper()
+		resp, err := http.Post(base+"/v1/jobs", "application/json",
+			strings.NewReader(`{"microbench":4,"si":true}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("POST /v1/jobs = %d", resp.StatusCode)
+		}
+		var res map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	first := post()
+	if first["cached"] == true {
+		t.Fatal("first job cannot be cached")
+	}
+	second := post()
+	if second["cached"] != true {
+		t.Fatal("second identical job must be served from the cache")
+	}
+	f, _ := json.Marshal(first["counters"])
+	s, _ := json.Marshal(second["counters"])
+	if !bytes.Equal(f, s) {
+		t.Errorf("cached counters differ:\n  first  %s\n  second %s", f, s)
+	}
+
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m struct {
+		JobsDone int64 `json:"jobs_done"`
+		Cache    struct {
+			Hits int64 `json:"hits"`
+		} `json:"cache"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&m)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.JobsDone != 1 || m.Cache.Hits != 1 {
+		t.Errorf("metrics: done=%d hits=%d, want 1/1", m.JobsDone, m.Cache.Hits)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exited uncleanly: %v\nstderr: %s", err, stderr.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not drain after SIGTERM")
+	}
+}
+
+// TestDaemonDiskCachePersists restarts the daemon on the same cache
+// directory and expects the second process to serve from disk.
+func TestDaemonDiskCachePersists(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the daemon binary")
+	}
+	bin := buildDaemon(t)
+	cacheDir := t.TempDir()
+
+	runOnce := func() (cached bool) {
+		t.Helper()
+		cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-cache-dir", cacheDir)
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		defer func() {
+			cmd.Process.Signal(syscall.SIGTERM)
+			cmd.Wait()
+		}()
+		sc := bufio.NewScanner(stdout)
+		if !sc.Scan() {
+			t.Fatal("no startup line")
+		}
+		base := "http://" + strings.TrimPrefix(sc.Text(), "sisimd listening on ")
+		go func() {
+			for sc.Scan() {
+			}
+		}()
+		resp, err := http.Post(base+"/v1/jobs", "application/json",
+			strings.NewReader(`{"microbench":2}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("POST = %d", resp.StatusCode)
+		}
+		var res map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+			t.Fatal(err)
+		}
+		return res["cached"] == true
+	}
+
+	if runOnce() {
+		t.Fatal("first process cannot hit an empty disk cache")
+	}
+	entries, err := filepath.Glob(filepath.Join(cacheDir, "*.json"))
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("cache dir entries = %v, %v", entries, err)
+	}
+	if !runOnce() {
+		t.Error("second process must serve the job from the disk cache")
+	}
+}
+
+// TestDaemonRejectsBadFlags: startup failures exit non-zero with a
+// one-line error.
+func TestDaemonRejectsBadFlags(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the daemon binary")
+	}
+	bin := buildDaemon(t)
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:8477", "surprise-arg")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatal("stray argument must fail startup")
+	}
+	var exitErr *exec.ExitError
+	if !errors.As(err, &exitErr) || exitErr.ExitCode() != 1 {
+		t.Fatalf("exit: %v", err)
+	}
+	if !strings.Contains(string(out), "unexpected argument") {
+		t.Errorf("output %q must name the stray argument", out)
+	}
+}

@@ -74,7 +74,7 @@ func Yield(o Options) (*Report, error) {
 					mk: func() (*sm.Kernel, error) { return workload.Megakernel(p) }},
 			)
 		}
-		results, err := runJobs(jobs, o.workers())
+		results, err := runJobs(o, jobs)
 		if err != nil {
 			return nil, err
 		}

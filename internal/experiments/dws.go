@@ -30,7 +30,7 @@ func DWS(o Options) (*Report, error) {
 				mk: func() (*sm.Kernel, error) { return workload.Megakernel(p) }},
 		)
 	}
-	results, err := runJobs(jobs, o.workers())
+	results, err := runJobs(o, jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -77,7 +77,7 @@ func DWS(o Options) (*Report, error) {
 			job{key: "dws", cfg: config.Default().WithDWS(),
 				mk: func() (*sm.Kernel, error) { return workload.Megakernel(p) }},
 		)
-		res, err := runJobs(sweep, o.workers())
+		res, err := runJobs(o, sweep)
 		if err != nil {
 			return nil, err
 		}

@@ -8,6 +8,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -28,6 +29,10 @@ type Options struct {
 	Quick bool
 	// Workers bounds concurrent simulations; 0 means GOMAXPROCS.
 	Workers int
+	// Context cancels the experiment's simulations: when it is done,
+	// in-flight runs return promptly and the experiment reports the
+	// context error. Nil means context.Background().
+	Context context.Context
 }
 
 func (o Options) workers() int {
@@ -35,6 +40,13 @@ func (o Options) workers() int {
 		return o.Workers
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+func (o Options) ctx() context.Context {
+	if o.Context != nil {
+		return o.Context
+	}
+	return context.Background()
 }
 
 // Report is one experiment's regenerated artifact.
@@ -139,12 +151,14 @@ type job struct {
 // fresh kernel state) and returns results keyed by job key. Results and
 // the reported error are deterministic regardless of scheduling: every
 // job's outcome lands in a slot indexed by submission order, and the
-// error returned is the first failing job's in that order.
-func runJobs(jobs []job, workers int) (map[string]gpu.Result, error) {
+// error returned is the first failing job's in that order. The
+// options' context cancels every in-flight simulation.
+func runJobs(o Options, jobs []job) (map[string]gpu.Result, error) {
+	ctx := o.ctx()
 	slots := make([]gpu.Result, len(jobs))
 	errs := make([]error, len(jobs))
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
+	sem := make(chan struct{}, o.workers())
 	for i, j := range jobs {
 		wg.Add(1)
 		go func(i int, j job) {
@@ -153,7 +167,7 @@ func runJobs(jobs []job, workers int) (map[string]gpu.Result, error) {
 			defer func() { <-sem }()
 			k, err := j.mk()
 			if err == nil {
-				slots[i], err = gpu.Run(j.cfg, k)
+				slots[i], err = gpu.RunContext(ctx, j.cfg, k, 0)
 			}
 			errs[i] = err
 		}(i, j)
@@ -213,7 +227,7 @@ func appSweep(base config.Config, o Options) (map[string]gpu.Result, error) {
 			})
 		}
 	}
-	return runJobs(jobs, o.workers())
+	return runJobs(o, jobs)
 }
 
 // sortedKeys returns map keys sorted lexicographically (for stable

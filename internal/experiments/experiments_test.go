@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
 	"testing"
 
+	"subwarpsim/internal/config"
 	"subwarpsim/internal/sm"
 	"subwarpsim/internal/workload"
 )
@@ -252,14 +254,32 @@ func TestQuickProfileShrinks(t *testing.T) {
 }
 
 func TestRunJobsPropagatesErrors(t *testing.T) {
-	_, err := runJobs([]job{{
+	_, err := runJobs(Options{Workers: 1}, []job{{
 		key: "bad",
 		mk:  func() (*sm.Kernel, error) { return nil, errBoom },
-	}}, 1)
+	}})
 	if err == nil {
 		t.Fatal("expected error")
 	}
 	if !strings.Contains(err.Error(), "bad") {
+		t.Errorf("error should name the job: %v", err)
+	}
+}
+
+func TestRunJobsHonorsCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := runJobs(Options{Workers: 1, Context: ctx}, []job{{
+		key: "cancelled",
+		cfg: config.Default(),
+		mk: func() (*sm.Kernel, error) {
+			return workload.Microbench(workload.DefaultMicrobench(4))
+		},
+	}})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if !strings.Contains(err.Error(), "cancelled") {
 		t.Errorf("error should name the job: %v", err)
 	}
 }

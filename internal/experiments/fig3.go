@@ -23,7 +23,7 @@ func Fig3(o Options) (*Report, error) {
 			mk:  func() (*sm.Kernel, error) { return workload.Megakernel(p) },
 		})
 	}
-	results, err := runJobs(jobs, o.workers())
+	results, err := runJobs(o, jobs)
 	if err != nil {
 		return nil, err
 	}

@@ -135,7 +135,7 @@ func appSweepBest(cfg config.Config, o Options) (map[string]float64, error) {
 				mk: func() (*sm.Kernel, error) { return workload.Megakernel(p) }},
 		)
 	}
-	results, err := runJobs(jobs, o.workers())
+	results, err := runJobs(o, jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -166,7 +166,7 @@ func Fig15(o Options) (*Report, error) {
 				mk: func() (*sm.Kernel, error) { return workload.Megakernel(p) }})
 		}
 	}
-	results, err := runJobs(jobs, o.workers())
+	results, err := runJobs(o, jobs)
 	if err != nil {
 		return nil, err
 	}

@@ -36,7 +36,7 @@ func Table3(o Options) (*Report, error) {
 				mk: func() (*sm.Kernel, error) { return workload.Microbench(p) }},
 		)
 	}
-	results, err := runJobs(jobs, o.workers())
+	results, err := runJobs(o, jobs)
 	if err != nil {
 		return nil, err
 	}

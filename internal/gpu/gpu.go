@@ -4,6 +4,7 @@
 package gpu
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -42,9 +43,22 @@ func Run(cfg config.Config, kernel *sm.Kernel) (Result, error) {
 	return RunWorkers(cfg, kernel, 0)
 }
 
-// RunWorkers launches the kernel on a freshly constructed GPU and
+// RunWorkers is RunContext with a background context (no cancellation
+// or deadline).
+func RunWorkers(cfg config.Config, kernel *sm.Kernel, workers int) (Result, error) {
+	return RunContext(context.Background(), cfg, kernel, workers)
+}
+
+// RunContext launches the kernel on a freshly constructed GPU and
 // simulates every SM to completion on a bounded pool of workers goroutines
 // (0 means GOMAXPROCS; 1 simulates SMs one after another).
+//
+// The context cancels the run: every SM observes ctx and returns
+// promptly (within a few thousand simulated cycles) once it is
+// cancelled or its deadline passes, and the returned error wraps
+// ctx.Err() so callers can errors.Is it against context.Canceled or
+// context.DeadlineExceeded. A cancelled run's partial effects follow
+// the same deterministic epilogue as any failing run.
 //
 // Warps distribute round-robin across SMs, and within an SM across its
 // processing blocks; warps beyond the register-limited occupancy run as
@@ -60,7 +74,7 @@ func Run(cfg config.Config, kernel *sm.Kernel) (Result, error) {
 // sharded image is that warps on different SMs never observe each
 // other's stores mid-run — like CUDA kernels without atomics, cross-SM
 // communication within a launch is undefined.
-func RunWorkers(cfg config.Config, kernel *sm.Kernel, workers int) (Result, error) {
+func RunContext(ctx context.Context, cfg config.Config, kernel *sm.Kernel, workers int) (Result, error) {
 	res := Result{Config: cfg, Blocks: cfg.NumSMs * cfg.BlocksPerSM}
 	if err := cfg.Validate(); err != nil {
 		return res, err
@@ -103,7 +117,7 @@ func RunWorkers(cfg config.Config, kernel *sm.Kernel, workers int) (Result, erro
 	errs := make([]error, len(sms))
 	if workers == 1 || len(sms) == 1 {
 		for i, s := range sms {
-			counters[i], errs[i] = s.Run(maxCycles)
+			counters[i], errs[i] = s.RunContext(ctx, maxCycles)
 			if errs[i] != nil {
 				break // later SMs stay unsimulated, as before parallelism
 			}
@@ -117,7 +131,7 @@ func RunWorkers(cfg config.Config, kernel *sm.Kernel, workers int) (Result, erro
 				defer wg.Done()
 				sem <- struct{}{}
 				defer func() { <-sem }()
-				counters[i], errs[i] = s.Run(maxCycles)
+				counters[i], errs[i] = s.RunContext(ctx, maxCycles)
 			}(i, s)
 		}
 		wg.Wait()

@@ -1,6 +1,7 @@
 package scoreboard
 
 import (
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -172,5 +173,75 @@ func TestQuickIncDecRoundTrip(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestDoubleReleasePanics: a second writeback for the same issue is a
+// simulator bug and must be loud, not a silent wrap to 255.
+func TestDoubleReleasePanics(t *testing.T) {
+	f := NewFile(8)
+	f.Inc(bits.LaneMask(2), 5)
+	f.Dec(2, 5) // matching release
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("double release must panic")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "lane 2") || !strings.Contains(msg, "sb5") {
+			t.Errorf("panic %v must name the lane and scoreboard", r)
+		}
+	}()
+	f.Dec(2, 5)
+}
+
+// TestSaturationDrainsConservatively: a saturated counter has absorbed
+// (and lost) issues beyond the maximum, so it drains in exactly
+// maxCount writebacks and any further writeback is an underflow. The
+// conservative direction is that the consumer stays blocked until the
+// counter is fully drained.
+func TestSaturationDrainsConservatively(t *testing.T) {
+	f := NewFile(8)
+	m := bits.LaneMask(0)
+	for i := 0; i < maxCount+10; i++ {
+		f.Inc(m, 0)
+	}
+	for i := 0; i < maxCount; i++ {
+		if f.Ready(m, 0) {
+			t.Fatalf("ready after %d of %d releases", i, maxCount)
+		}
+		f.Dec(0, 0)
+	}
+	if !f.Ready(m, 0) {
+		t.Fatal("drained counter must read ready")
+	}
+	// The 10 over-saturation issues were absorbed; their writebacks
+	// would now underflow.
+	defer func() {
+		if recover() == nil {
+			t.Error("release beyond the saturated count must panic")
+		}
+	}()
+	f.Dec(0, 0)
+}
+
+// TestPerLaneIndependence: counters are replicated per thread — a
+// writeback by one lane must not unblock any other lane (the property
+// SI's per-subwarp scoreboard views rely on).
+func TestPerLaneIndependence(t *testing.T) {
+	f := NewFile(8)
+	f.Inc(bits.FullMask, 1)
+	f.Dec(3, 1)
+	if !f.Ready(bits.LaneMask(3), 1) {
+		t.Error("released lane must be ready")
+	}
+	if f.Ready(bits.LaneMask(4), 1) {
+		t.Error("other lanes must stay blocked")
+	}
+	if f.Ready(bits.FullMask, 1) {
+		t.Error("warp-wide view must stay blocked while any lane is outstanding")
+	}
+	if got := f.Count(bits.FullMask, 1); got != 31 {
+		t.Errorf("warp-wide count = %d, want 31", got)
 	}
 }

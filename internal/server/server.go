@@ -1,0 +1,532 @@
+// Package server implements the sisimd simulation service: a bounded
+// worker pool running simulation jobs behind an HTTP API, with a
+// content-addressed result cache (internal/simcache), in-flight
+// deduplication (singleflight), per-job timeouts, client cancellation,
+// queue backpressure, and graceful draining.
+//
+// The serving model relies on the simulator's determinism contract: a
+// job's result is a pure function of its (config, program, workload)
+// content hash, so a cached or coalesced result is bit-identical to
+// the result a fresh simulation would produce.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"subwarpsim/internal/config"
+	"subwarpsim/internal/gpu"
+	"subwarpsim/internal/simcache"
+	"subwarpsim/internal/sm"
+	"subwarpsim/internal/stats"
+	"subwarpsim/internal/workload"
+)
+
+// Options tunes the service.
+type Options struct {
+	// Workers is the simulation worker pool size (concurrent jobs);
+	// 0 means GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds jobs waiting for a worker; submissions beyond
+	// it are rejected with 429. 0 means 64.
+	QueueDepth int
+	// SimWorkers bounds per-simulation SM goroutines (gpu.RunContext's
+	// workers argument); 0 means GOMAXPROCS.
+	SimWorkers int
+	// DefaultTimeout bounds jobs that do not request a timeout;
+	// 0 means 2 minutes.
+	DefaultTimeout time.Duration
+	// MaxTimeout clamps requested timeouts; 0 means 10 minutes.
+	MaxTimeout time.Duration
+	// Cache stores results by content address; nil means an in-memory
+	// LRU of 4096 entries.
+	Cache simcache.Cache
+	// MaxBatch bounds jobs per batch request; 0 means 256.
+	MaxBatch int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 64
+	}
+	if o.DefaultTimeout <= 0 {
+		o.DefaultTimeout = 2 * time.Minute
+	}
+	if o.MaxTimeout <= 0 {
+		o.MaxTimeout = 10 * time.Minute
+	}
+	if o.Cache == nil {
+		o.Cache = simcache.NewMemory(4096)
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 256
+	}
+	return o
+}
+
+// flight is one in-flight simulation shared by every request that
+// asked for the same content hash (singleflight). The flight owns a
+// cancellable context; it is cancelled early when every waiter has
+// gone away, so abandoned work stops promptly.
+type flight struct {
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{} // closed after entry/err are set
+
+	entry simcache.Entry
+	err   error
+
+	waiters int // guarded by Server.mu; 0 after completion
+}
+
+// task is one queued simulation.
+type task struct {
+	fl     *flight
+	key    simcache.Key
+	cfg    config.Config
+	kernel *sm.Kernel
+}
+
+// Server is the simulation service. Create with New, serve Handler(),
+// and stop with Drain.
+type Server struct {
+	opts  Options
+	cache simcache.Cache
+	queue chan task
+	start time.Time
+
+	baseCtx    context.Context // parent of every job context
+	cancelBase context.CancelFunc
+
+	workerWG sync.WaitGroup // worker goroutines
+	taskWG   sync.WaitGroup // enqueued-but-unfinished tasks
+	draining atomic.Bool
+
+	mu      sync.Mutex
+	flights map[simcache.Key]*flight
+
+	jobsTotal  atomic.Int64 // accepted submissions (incl. hits and coalesced)
+	jobsDone   atomic.Int64 // simulations completed successfully
+	jobsFailed atomic.Int64 // simulations that returned an error
+	rejected   atomic.Int64 // 429s from queue backpressure
+	coalesced  atomic.Int64 // submissions that joined an in-flight twin
+	inFlight   atomic.Int64 // simulations currently on a worker
+
+	latMu   sync.Mutex
+	latency stats.Histogram // microseconds per completed simulation
+
+	// runSim performs one simulation; tests substitute a fake to drive
+	// backpressure and cancellation deterministically.
+	runSim func(ctx context.Context, cfg config.Config, k *sm.Kernel) (gpu.Result, error)
+}
+
+// New starts a server's worker pool and returns it.
+func New(opts Options) *Server {
+	opts = opts.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		opts:       opts,
+		cache:      opts.Cache,
+		queue:      make(chan task, opts.QueueDepth),
+		start:      time.Now(),
+		baseCtx:    ctx,
+		cancelBase: cancel,
+		flights:    make(map[simcache.Key]*flight),
+	}
+	s.latency.Name = "job latency (us)"
+	s.runSim = func(ctx context.Context, cfg config.Config, k *sm.Kernel) (gpu.Result, error) {
+		return gpu.RunContext(ctx, cfg, k, opts.SimWorkers)
+	}
+	for i := 0; i < opts.Workers; i++ {
+		s.workerWG.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+func (s *Server) worker() {
+	defer s.workerWG.Done()
+	for t := range s.queue {
+		s.inFlight.Add(1)
+		started := time.Now()
+		res, err := s.runSim(t.fl.ctx, t.cfg, t.kernel)
+		elapsed := time.Since(started)
+		s.inFlight.Add(-1)
+
+		var entry simcache.Entry
+		if err == nil {
+			entry = simcache.Entry{
+				Policy:   res.Config.PolicyName(),
+				Blocks:   res.Blocks,
+				Counters: res.Counters,
+			}
+			s.cache.Put(t.key, entry)
+			s.jobsDone.Add(1)
+			s.latMu.Lock()
+			s.latency.Observe(elapsed.Microseconds())
+			s.latMu.Unlock()
+		} else {
+			s.jobsFailed.Add(1)
+		}
+		s.complete(t.key, t.fl, entry, err)
+		s.taskWG.Done()
+	}
+}
+
+// complete publishes a flight's outcome and retires it.
+func (s *Server) complete(key simcache.Key, fl *flight, entry simcache.Entry, err error) {
+	s.mu.Lock()
+	delete(s.flights, key)
+	s.mu.Unlock()
+	fl.entry, fl.err = entry, err
+	close(fl.done)
+	fl.cancel() // release the timeout timer
+}
+
+// dropWaiter unregisters one waiter; when the last waiter of an
+// unfinished flight leaves, the flight's simulation is cancelled.
+func (s *Server) dropWaiter(fl *flight) {
+	s.mu.Lock()
+	fl.waiters--
+	abandoned := fl.waiters == 0
+	s.mu.Unlock()
+	if abandoned {
+		select {
+		case <-fl.done:
+		default:
+			fl.cancel()
+		}
+	}
+}
+
+// jobTimeout clamps a spec's requested timeout into the server's
+// allowed range.
+func (s *Server) jobTimeout(spec JobSpec) time.Duration {
+	d := s.opts.DefaultTimeout
+	if spec.TimeoutMS > 0 {
+		d = time.Duration(spec.TimeoutMS) * time.Millisecond
+	}
+	if d > s.opts.MaxTimeout {
+		d = s.opts.MaxTimeout
+	}
+	return d
+}
+
+// apiError is a submission failure with its HTTP status.
+type apiError struct {
+	status int
+	msg    string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+func errStatus(err error) int {
+	var ae *apiError
+	if errors.As(err, &ae) {
+		return ae.status
+	}
+	return http.StatusInternalServerError
+}
+
+// JobResult is the wire form of one completed job.
+type JobResult struct {
+	// Key is the job's content address in the result cache.
+	Key string `json:"key"`
+	// Cached reports that the result was served from the cache without
+	// simulating; Coalesced that it was deduplicated onto an in-flight
+	// twin simulation.
+	Cached    bool   `json:"cached"`
+	Coalesced bool   `json:"coalesced,omitempty"`
+	Workload  string `json:"workload"`
+	Policy    string `json:"policy"`
+	Blocks    int    `json:"blocks"`
+	// Counters and Derived are bit-identical across cache hits, misses,
+	// and coalesced replays of the same key (the determinism contract).
+	Counters stats.Counters `json:"counters"`
+	Derived  stats.Derived  `json:"derived"`
+	// Error is set instead of the result fields for failed batch items.
+	Error string `json:"error,omitempty"`
+}
+
+func resultFrom(key simcache.Key, spec JobSpec, e simcache.Entry, cached, coalesced bool) JobResult {
+	return JobResult{
+		Key:       key.String(),
+		Cached:    cached,
+		Coalesced: coalesced,
+		Workload:  spec.WorkloadID(),
+		Policy:    e.Policy,
+		Blocks:    e.Blocks,
+		Counters:  e.Counters,
+		Derived:   e.Derived(),
+	}
+}
+
+// Submit runs one job to completion: cache lookup, singleflight
+// coalescing, then a bounded-queue simulation. ctx is the caller's
+// (request) context — its cancellation abandons the wait, and the
+// underlying simulation stops once every interested caller is gone.
+func (s *Server) Submit(ctx context.Context, spec JobSpec) (JobResult, error) {
+	if s.draining.Load() {
+		return JobResult{}, &apiError{http.StatusServiceUnavailable, "server is draining"}
+	}
+	cfg, err := spec.Config()
+	if err != nil {
+		return JobResult{}, &apiError{http.StatusBadRequest, err.Error()}
+	}
+	kernel, err := spec.BuildKernel()
+	if err != nil {
+		return JobResult{}, &apiError{http.StatusBadRequest, err.Error()}
+	}
+	key := simcache.KeyOf(cfg, kernel, spec.WorkloadID())
+	s.jobsTotal.Add(1)
+
+	if e, ok := s.cache.Get(key); ok {
+		return resultFrom(key, spec, e, true, false), nil
+	}
+
+	// Singleflight: join an in-flight twin, or become the one that
+	// simulates. The flight's context is independent of any single
+	// request so coalesced waiters survive the first requester leaving.
+	s.mu.Lock()
+	fl, joined := s.flights[key]
+	if joined {
+		fl.waiters++
+		s.mu.Unlock()
+		s.coalesced.Add(1)
+	} else {
+		flCtx, cancel := context.WithTimeout(s.baseCtx, s.jobTimeout(spec))
+		fl = &flight{ctx: flCtx, cancel: cancel, done: make(chan struct{}), waiters: 1}
+		s.flights[key] = fl
+		s.mu.Unlock()
+
+		s.taskWG.Add(1)
+		select {
+		case s.queue <- task{fl: fl, key: key, cfg: cfg, kernel: kernel}:
+		default:
+			// Backpressure: the queue is full. Retire the flight we just
+			// registered and tell the client to retry later.
+			s.taskWG.Done()
+			s.mu.Lock()
+			delete(s.flights, key)
+			s.mu.Unlock()
+			fl.cancel()
+			s.rejected.Add(1)
+			return JobResult{}, &apiError{http.StatusTooManyRequests, "job queue is full, retry later"}
+		}
+	}
+
+	select {
+	case <-fl.done:
+	case <-ctx.Done():
+		s.dropWaiter(fl)
+		return JobResult{}, &apiError{http.StatusRequestTimeout,
+			fmt.Sprintf("request abandoned: %v", ctx.Err())}
+	}
+	if fl.err != nil {
+		switch {
+		case errors.Is(fl.err, context.DeadlineExceeded):
+			return JobResult{}, &apiError{http.StatusGatewayTimeout,
+				fmt.Sprintf("job timed out: %v", fl.err)}
+		case errors.Is(fl.err, context.Canceled):
+			return JobResult{}, &apiError{http.StatusServiceUnavailable,
+				fmt.Sprintf("job cancelled: %v", fl.err)}
+		default:
+			return JobResult{}, &apiError{http.StatusInternalServerError, fl.err.Error()}
+		}
+	}
+	return resultFrom(key, spec, fl.entry, false, joined), nil
+}
+
+// Drain stops accepting jobs and waits for queued and in-flight work
+// to finish. If ctx expires first, every remaining job is cancelled
+// and Drain waits for the workers to observe it. The worker pool is
+// shut down either way; the server cannot be reused afterwards.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	finished := make(chan struct{})
+	go func() {
+		s.taskWG.Wait()
+		close(finished)
+	}()
+	var err error
+	select {
+	case <-finished:
+	case <-ctx.Done():
+		err = fmt.Errorf("server: drain deadline passed, cancelling %d jobs: %w",
+			s.inFlight.Load()+int64(len(s.queue)), ctx.Err())
+		s.cancelBase()
+		<-finished
+	}
+	close(s.queue)
+	s.workerWG.Wait()
+	s.cancelBase()
+	return err
+}
+
+// Metrics is the /metrics payload.
+type Metrics struct {
+	UptimeSec    float64        `json:"uptime_sec"`
+	Draining     bool           `json:"draining"`
+	Workers      int            `json:"workers"`
+	QueueDepth   int            `json:"queue_depth"`
+	QueueCap     int            `json:"queue_cap"`
+	JobsInFlight int64          `json:"jobs_in_flight"`
+	JobsTotal    int64          `json:"jobs_total"`
+	JobsDone     int64          `json:"jobs_done"`
+	JobsFailed   int64          `json:"jobs_failed"`
+	Rejected     int64          `json:"rejected"`
+	Coalesced    int64          `json:"coalesced"`
+	Cache        simcache.Stats `json:"cache"`
+	CacheHitRate float64        `json:"cache_hit_rate"`
+	CacheEntries int            `json:"cache_entries"`
+	LatencyP50MS float64        `json:"latency_p50_ms"`
+	LatencyP95MS float64        `json:"latency_p95_ms"`
+	LatencyMaxMS float64        `json:"latency_max_ms"`
+}
+
+// MetricsSnapshot gathers the server's current metrics.
+func (s *Server) MetricsSnapshot() Metrics {
+	cs := s.cache.Stats()
+	s.latMu.Lock()
+	p50 := s.latency.Quantile(0.50)
+	p95 := s.latency.Quantile(0.95)
+	max := s.latency.Max()
+	s.latMu.Unlock()
+	return Metrics{
+		UptimeSec:    time.Since(s.start).Seconds(),
+		Draining:     s.draining.Load(),
+		Workers:      s.opts.Workers,
+		QueueDepth:   len(s.queue),
+		QueueCap:     cap(s.queue),
+		JobsInFlight: s.inFlight.Load(),
+		JobsTotal:    s.jobsTotal.Load(),
+		JobsDone:     s.jobsDone.Load(),
+		JobsFailed:   s.jobsFailed.Load(),
+		Rejected:     s.rejected.Load(),
+		Coalesced:    s.coalesced.Load(),
+		Cache:        cs,
+		CacheHitRate: cs.HitRate(),
+		CacheEntries: s.cache.Len(),
+		LatencyP50MS: float64(p50) / 1e3,
+		LatencyP95MS: float64(p95) / 1e3,
+		LatencyMaxMS: float64(max) / 1e3,
+	}
+}
+
+// Handler returns the service's HTTP API:
+//
+//	GET  /healthz   liveness (503 while draining)
+//	GET  /metrics   JSON metrics snapshot
+//	GET  /v1/apps   application trace catalogue
+//	POST /v1/jobs   run one JobSpec
+//	POST /v1/batch  run {"jobs": [JobSpec...]}, coalescing duplicates
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/apps", s.handleApps)
+	mux.HandleFunc("POST /v1/jobs", s.handleJob)
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	status := errStatus(err)
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.MetricsSnapshot())
+}
+
+func (s *Server) handleApps(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, workload.Apps())
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeError(w, &apiError{http.StatusBadRequest, "bad job spec: " + err.Error()})
+		return
+	}
+	res, err := s.Submit(r.Context(), spec)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// batchRequest is the /v1/batch payload.
+type batchRequest struct {
+	Jobs []JobSpec `json:"jobs"`
+}
+
+// batchResponse preserves request order; failed items carry Error and
+// empty result fields.
+type batchResponse struct {
+	Results []JobResult `json:"results"`
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, &apiError{http.StatusBadRequest, "bad batch: " + err.Error()})
+		return
+	}
+	if len(req.Jobs) == 0 {
+		writeError(w, &apiError{http.StatusBadRequest, "batch has no jobs"})
+		return
+	}
+	if len(req.Jobs) > s.opts.MaxBatch {
+		writeError(w, &apiError{http.StatusBadRequest,
+			fmt.Sprintf("batch of %d exceeds limit %d", len(req.Jobs), s.opts.MaxBatch)})
+		return
+	}
+	// Every item goes through Submit concurrently: identical specs
+	// coalesce onto one simulation, distinct ones use the worker pool.
+	resp := batchResponse{Results: make([]JobResult, len(req.Jobs))}
+	var wg sync.WaitGroup
+	for i, spec := range req.Jobs {
+		wg.Add(1)
+		go func(i int, spec JobSpec) {
+			defer wg.Done()
+			res, err := s.Submit(r.Context(), spec)
+			if err != nil {
+				res = JobResult{Workload: spec.WorkloadID(), Error: err.Error()}
+			}
+			resp.Results[i] = res
+		}(i, spec)
+	}
+	wg.Wait()
+	writeJSON(w, http.StatusOK, resp)
+}

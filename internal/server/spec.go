@@ -1,0 +1,154 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+
+	"subwarpsim/internal/config"
+	"subwarpsim/internal/sm"
+	"subwarpsim/internal/workload"
+)
+
+// JobSpec is the wire form of one simulation job: a workload (an
+// application trace name or a microbenchmark subwarp size) plus the
+// architecture/policy knobs the sisim CLI exposes. The zero value of
+// every knob means "paper default".
+type JobSpec struct {
+	// App names an application trace (see workload.AppNames).
+	// Exactly one of App and Microbench must be set.
+	App string `json:"app,omitempty"`
+	// Microbench runs the divergence microbenchmark with this subwarp
+	// size (1, 2, 4, 8, 16, or 32).
+	Microbench int `json:"microbench,omitempty"`
+
+	// SI enables Subwarp Interleaving; DWS models Dynamic Warp
+	// Subdivision instead (mutually exclusive with SI).
+	SI  bool `json:"si,omitempty"`
+	DWS bool `json:"dws,omitempty"`
+	// Yield enables subwarp-yield (the paper's "Both" mode).
+	Yield bool `json:"yield,omitempty"`
+	// Trigger is the subwarp-select trigger: "any", "half" (default),
+	// or "all".
+	Trigger string `json:"trigger,omitempty"`
+	// LatencyCycles overrides the L1 miss latency (default 600).
+	LatencyCycles int `json:"latency_cycles,omitempty"`
+	// WarpSlots overrides warp slots per processing block (default 8).
+	WarpSlots int `json:"warp_slots,omitempty"`
+	// MaxSubwarps caps TST entries per warp (0 = unlimited).
+	MaxSubwarps int `json:"max_subwarps,omitempty"`
+	// Order is the divergent-path activation order: "taken" (default),
+	// "fallthrough", "largest", or "random".
+	Order string `json:"order,omitempty"`
+
+	// TimeoutMS bounds this job's simulation wall time; 0 uses the
+	// server default. The server clamps it to its configured maximum.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// ParseOrder maps a CLI/API order name onto the config constant.
+func ParseOrder(name string) (config.SubwarpOrder, error) {
+	switch strings.ToLower(name) {
+	case "", "taken":
+		return config.OrderTakenFirst, nil
+	case "fallthrough":
+		return config.OrderFallthroughFirst, nil
+	case "largest":
+		return config.OrderLargestFirst, nil
+	case "random":
+		return config.OrderRandom, nil
+	default:
+		return 0, fmt.Errorf("unknown order %q (taken, fallthrough, largest, random)", name)
+	}
+}
+
+// ParseTrigger maps a CLI/API trigger name onto the config constant.
+func ParseTrigger(name string) (config.SelectTrigger, error) {
+	switch strings.ToLower(name) {
+	case "any":
+		return config.TriggerAnyStalled, nil
+	case "", "half":
+		return config.TriggerHalfStalled, nil
+	case "all":
+		return config.TriggerAllStalled, nil
+	default:
+		return 0, fmt.Errorf("unknown trigger %q (any, half, all)", name)
+	}
+}
+
+// Validate reports the first problem with the spec.
+func (j JobSpec) Validate() error {
+	switch {
+	case j.App == "" && j.Microbench == 0:
+		return fmt.Errorf("spec needs a workload: set app or microbench")
+	case j.App != "" && j.Microbench != 0:
+		return fmt.Errorf("spec sets both app and microbench; pick one")
+	case j.Microbench < 0:
+		return fmt.Errorf("microbench subwarp size %d must be positive", j.Microbench)
+	case j.SI && j.DWS:
+		return fmt.Errorf("spec sets both si and dws; pick one")
+	case j.LatencyCycles < 0 || j.WarpSlots < 0 || j.MaxSubwarps < 0 || j.TimeoutMS < 0:
+		return fmt.Errorf("negative knob values are invalid")
+	}
+	if j.App != "" {
+		if _, err := workload.ProfileByName(j.App); err != nil {
+			return err
+		}
+	} else if err := workload.DefaultMicrobench(j.Microbench).Validate(); err != nil {
+		return err
+	}
+	if _, err := ParseTrigger(j.Trigger); err != nil {
+		return err
+	}
+	if _, err := ParseOrder(j.Order); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Config builds the architecture configuration the spec describes,
+// starting from the paper's Table I defaults.
+func (j JobSpec) Config() (config.Config, error) {
+	cfg := config.Default()
+	if err := j.Validate(); err != nil {
+		return cfg, err
+	}
+	if j.LatencyCycles > 0 {
+		cfg.L1MissLatency = j.LatencyCycles
+	}
+	if j.WarpSlots > 0 {
+		cfg.WarpSlotsPerBlock = j.WarpSlots
+	}
+	order, _ := ParseOrder(j.Order)
+	cfg.Order = order
+	if j.DWS {
+		cfg = cfg.WithDWS()
+	} else if j.SI {
+		trigger, _ := ParseTrigger(j.Trigger)
+		cfg = cfg.WithSI(j.Yield, trigger)
+		cfg.SI.MaxSubwarps = j.MaxSubwarps
+	}
+	return cfg, cfg.Validate()
+}
+
+// BuildKernel constructs a fresh kernel for the spec's workload.
+// Kernels carry mutable functional state, so every simulation needs
+// its own.
+func (j JobSpec) BuildKernel() (*sm.Kernel, error) {
+	if j.App != "" {
+		p, err := workload.ProfileByName(j.App)
+		if err != nil {
+			return nil, err
+		}
+		return workload.Megakernel(p)
+	}
+	return workload.Microbench(workload.DefaultMicrobench(j.Microbench))
+}
+
+// WorkloadID is the workload half of the cache key: a stable name for
+// how BuildKernel constructs the kernel.
+func (j JobSpec) WorkloadID() string {
+	if j.App != "" {
+		return "app/" + j.App
+	}
+	return fmt.Sprintf("micro/%d", j.Microbench)
+}

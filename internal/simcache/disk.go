@@ -1,0 +1,132 @@
+package simcache
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// diskMagic is the first token of every cache file; files without it
+// are rejected as corrupt.
+const diskMagic = "sisimcache1"
+
+// disk is a directory-backed cache: one file per key, named by the
+// key's hex form. Each file is self-checking — a header line carrying
+// the SHA-256 of the JSON payload — so truncated or bit-flipped
+// entries are detected, rejected, and removed rather than served.
+type disk struct {
+	dir string
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+// NewDisk returns a cache persisting entries under dir, creating it if
+// needed. Unlike the in-memory cache it is unbounded: sweeping old
+// entries is an operator concern (the files are plain content-named
+// JSON).
+func NewDisk(dir string) (Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("simcache: %w", err)
+	}
+	return &disk{dir: dir}, nil
+}
+
+func (d *disk) path(k Key) string { return filepath.Join(d.dir, k.String()+".json") }
+
+func (d *disk) Get(k Key) (Entry, bool) {
+	raw, err := os.ReadFile(d.path(k))
+	if err != nil {
+		d.count(func(s *Stats) { s.Misses++ })
+		return Entry{}, false
+	}
+	e, err := decodeEntry(raw)
+	if err != nil {
+		// A corrupted entry must never be served; remove it so the next
+		// Put can rewrite it cleanly.
+		os.Remove(d.path(k))
+		d.count(func(s *Stats) { s.Corrupt++; s.Misses++ })
+		return Entry{}, false
+	}
+	d.count(func(s *Stats) { s.Hits++ })
+	return e, true
+}
+
+func (d *disk) Put(k Key, e Entry) {
+	raw, err := encodeEntry(e)
+	if err != nil {
+		return
+	}
+	// Write-then-rename keeps concurrent readers from ever observing a
+	// half-written file.
+	tmp, err := os.CreateTemp(d.dir, "put-*")
+	if err != nil {
+		return
+	}
+	_, werr := tmp.Write(raw)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), d.path(k)); err != nil {
+		os.Remove(tmp.Name())
+	}
+}
+
+func (d *disk) Len() int {
+	names, err := filepath.Glob(filepath.Join(d.dir, "*.json"))
+	if err != nil {
+		return 0
+	}
+	return len(names)
+}
+
+func (d *disk) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+func (d *disk) count(f func(*Stats)) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f(&d.stats)
+}
+
+// encodeEntry renders "<magic> <sha256-of-payload>\n<payload JSON>".
+func encodeEntry(e Entry) ([]byte, error) {
+	payload, err := json.Marshal(e)
+	if err != nil {
+		return nil, err
+	}
+	sum := sha256.Sum256(payload)
+	header := fmt.Sprintf("%s %s\n", diskMagic, hex.EncodeToString(sum[:]))
+	return append([]byte(header), payload...), nil
+}
+
+// decodeEntry verifies the checksum header and unmarshals the payload.
+func decodeEntry(raw []byte) (Entry, error) {
+	var e Entry
+	header, payload, found := bytes.Cut(raw, []byte("\n"))
+	if !found {
+		return e, fmt.Errorf("simcache: entry missing header")
+	}
+	magic, sumHex, found := bytes.Cut(header, []byte(" "))
+	if !found || string(magic) != diskMagic {
+		return e, fmt.Errorf("simcache: bad entry magic %q", magic)
+	}
+	sum := sha256.Sum256(payload)
+	if string(sumHex) != hex.EncodeToString(sum[:]) {
+		return e, fmt.Errorf("simcache: entry checksum mismatch")
+	}
+	if err := json.Unmarshal(payload, &e); err != nil {
+		return e, fmt.Errorf("simcache: entry payload: %w", err)
+	}
+	return e, nil
+}

@@ -1,0 +1,119 @@
+package sm
+
+import (
+	"strings"
+	"testing"
+
+	"subwarpsim/internal/config"
+	"subwarpsim/internal/isa"
+	"subwarpsim/internal/mem"
+)
+
+// exitUnderBarrier builds the reconvergence-after-exit shape: the
+// branch-taken half of the warp arrives at the convergence barrier
+// first and blocks, then the fall-through half EXITs without ever
+// executing the BSYNC. The divergence unit must notice the barrier is
+// now satisfied and release the blocked threads (releaseAfterExit);
+// nothing else will ever wake them.
+func exitUnderBarrier() *isa.Program {
+	b := isa.NewBuilder("exit-under-barrier")
+	b.S2R(0, isa.SRLaneID)
+	b.Isetpi(isa.CmpLT, 0, 0, 16) // p0: lanes 0..15
+	b.Bssy(0, "join")
+	b.BraP(0, false, "join") // lanes 0..15 take the branch to the barrier
+	// Lanes 16..31 fall through and exit without reconverging.
+	b.Iadd(4, 0, 0)
+	b.Exit()
+	b.Label("join")
+	b.Bsync(0)
+	return b.Exit().MustBuild()
+}
+
+// TestReleaseAfterExitUnblocksBarrier runs the shape under the
+// baseline divergence unit and under SI: both must terminate (not
+// deadlock) by releasing the barrier after the sibling path exits.
+func TestReleaseAfterExitUnblocksBarrier(t *testing.T) {
+	for name, cfg := range map[string]config.Config{
+		"baseline": testConfig(),
+		"SI":       testConfig().WithSI(true, config.TriggerHalfStalled),
+	} {
+		t.Run(name, func(t *testing.T) {
+			c, _ := run(t, cfg, exitUnderBarrier(), 2)
+			if c.DivergentBranches == 0 {
+				t.Fatal("kernel must diverge")
+			}
+			if c.Reconvergences == 0 {
+				t.Error("exit-satisfied barrier must count as a reconvergence")
+			}
+		})
+	}
+}
+
+// TestReleaseAfterExitNested: with two nested barriers, exiting the
+// innermost sibling releases only the inner barrier; the outer one
+// reconverges normally afterwards. Guards the per-barrier scan in
+// releaseAfterExit.
+func TestReleaseAfterExitNested(t *testing.T) {
+	b := isa.NewBuilder("nested-exit")
+	b.S2R(0, isa.SRLaneID)
+	b.Isetpi(isa.CmpLT, 0, 0, 16) // p0: lanes 0..15
+	b.Bssy(0, "outer")
+	b.BraP(0, false, "outer") // lanes 0..15 wait at the outer barrier
+	// Lanes 16..31: diverge again on an inner region.
+	b.Isetpi(isa.CmpLT, 1, 0, 24) // p1: lanes 16..23 of the survivors
+	b.Bssy(1, "inner")
+	b.BraP(1, false, "inner") // lanes 16..23 wait at the inner barrier
+	// Lanes 24..31 exit; the inner barrier must release lanes 16..23.
+	b.Exit()
+	b.Label("inner")
+	b.Bsync(1)
+	b.Label("outer")
+	b.Bsync(0)
+	prog := b.Exit().MustBuild()
+
+	c, _ := run(t, testConfig(), prog, 1)
+	if c.Reconvergences < 2 {
+		t.Errorf("Reconvergences = %d, want inner release plus outer reconvergence", c.Reconvergences)
+	}
+}
+
+// mismatchedBarriers builds the illegal shape the deadlock detector
+// must catch: both halves of the warp block on barrier B0 but at
+// different PCs, so neither BSYNC can ever succeed.
+func mismatchedBarriers() *isa.Program {
+	b := isa.NewBuilder("mismatched-bsync")
+	b.S2R(0, isa.SRLaneID)
+	b.Isetpi(isa.CmpLT, 0, 0, 16)
+	b.Bssy(0, "there")
+	b.BraP(0, false, "there")
+	b.Bsync(0) // lanes 16..31 wait here ...
+	b.Bra("end")
+	b.Label("there")
+	b.Bsync(0) // ... while lanes 0..15 wait at a different PC
+	b.Label("end")
+	return b.Exit().MustBuild()
+}
+
+// TestMismatchedBsyncReportsDeadlock: the simulator must fail with a
+// diagnosable deadlock error, not hang or run to the cycle cap.
+func TestMismatchedBsyncReportsDeadlock(t *testing.T) {
+	prog := mismatchedBarriers()
+	k := &Kernel{Program: prog, NumWarps: 1, WarpsPerCTA: 1, Memory: mem.NewMemory()}
+	s, err := NewSM(0, testConfig(), k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Admit(0, 0, 0, 0)
+	_, err = s.Run(1_000_000)
+	if err == nil {
+		t.Fatal("mismatched BSYNCs must be reported as a deadlock")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "deadlock") {
+		t.Errorf("error %q must say deadlock", msg)
+	}
+	// The report embeds the per-warp dump so the failure is debuggable.
+	if !strings.Contains(msg, "warp 0") || !strings.Contains(msg, "blocked") {
+		t.Errorf("error must carry the warp state dump:\n%s", msg)
+	}
+}

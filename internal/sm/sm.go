@@ -1,6 +1,7 @@
 package sm
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -162,15 +163,31 @@ func (s *SM) DeferMemoryPublish() { s.deferPublish = true }
 func (s *SM) PublishMemory() { s.mem.Publish() }
 
 // Run simulates until every admitted warp completes or maxCycles
-// elapses, returning the merged per-block counters. The run loop steps
-// all blocks in lock-step and fast-forwards through provably idle
-// regions to the next scheduled event.
+// elapses, returning the merged per-block counters. It is shorthand
+// for RunContext with a background context.
+func (s *SM) Run(maxCycles int64) (stats.Counters, error) {
+	return s.RunContext(context.Background(), maxCycles)
+}
+
+// cancelCheckStride bounds how many simulated cycles may elapse
+// between context-cancellation checks: frequent enough that a
+// cancelled simulation returns within microseconds of wall time, rare
+// enough that the per-cycle hot loop never touches the context.
+const cancelCheckStride = 4096
+
+// RunContext simulates until every admitted warp completes, maxCycles
+// elapses, or ctx is cancelled, returning the merged per-block
+// counters. The run loop steps all blocks in lock-step and
+// fast-forwards through provably idle regions to the next scheduled
+// event; cancellation is observed at least every cancelCheckStride
+// loop iterations, so a cancelled run returns promptly with
+// ctx.Err() wrapped in the error.
 //
 // The SM executes loads and stores against its private copy-on-write
 // view of the kernel memory; unless DeferMemoryPublish was called, the
 // view is published to the shared image when Run returns (including on
-// error, matching how far the simulation got).
-func (s *SM) Run(maxCycles int64) (stats.Counters, error) {
+// error or cancellation, matching how far the simulation got).
+func (s *SM) RunContext(ctx context.Context, maxCycles int64) (stats.Counters, error) {
 	if !s.deferPublish {
 		defer s.mem.Publish()
 	}
@@ -179,8 +196,18 @@ func (s *SM) Run(maxCycles int64) (stats.Counters, error) {
 			blk.done = true
 		}
 	}
+	if err := ctx.Err(); err != nil {
+		return s.merge(), fmt.Errorf("sm %d: cancelled before cycle 0: %w", s.id, err)
+	}
 	now := int64(0)
+	sinceCheck := 0
 	for {
+		if sinceCheck++; sinceCheck >= cancelCheckStride {
+			sinceCheck = 0
+			if err := ctx.Err(); err != nil {
+				return s.merge(), fmt.Errorf("sm %d: cancelled at cycle %d: %w", s.id, now, err)
+			}
+		}
 		allDone := true
 		anyIssued := false
 		next := int64(math.MaxInt64)

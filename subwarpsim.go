@@ -36,6 +36,8 @@
 package subwarpsim
 
 import (
+	"context"
+
 	"subwarpsim/internal/config"
 	"subwarpsim/internal/experiments"
 	"subwarpsim/internal/gpu"
@@ -99,6 +101,14 @@ func Run(cfg Config, kernel *Kernel) (Result, error) { return gpu.Run(cfg, kerne
 // trace streams are bit-identical for every worker count.
 func RunWorkers(cfg Config, kernel *Kernel, workers int) (Result, error) {
 	return gpu.RunWorkers(cfg, kernel, workers)
+}
+
+// RunContext is RunWorkers with cancellation: when ctx is cancelled or
+// its deadline passes, every simulating SM returns promptly and the
+// error wraps ctx.Err() (errors.Is-compatible with context.Canceled
+// and context.DeadlineExceeded).
+func RunContext(ctx context.Context, cfg Config, kernel *Kernel, workers int) (Result, error) {
+	return gpu.RunContext(ctx, cfg, kernel, workers)
 }
 
 // Compare runs the kernel under two configurations on fresh state and

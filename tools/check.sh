@@ -37,6 +37,25 @@ echo "== determinism smoke =="
 # interleaving.
 go test -race -count=2 -run 'TestParallelMatchesSequential|TestParallelTraceMatchesSequential' ./internal/gpu
 
+echo "== service smoke =="
+# Drive the real sisimd binary end to end: start it on an ephemeral
+# port, POST a job twice, require the second response to come from the
+# content-addressed cache, then SIGTERM and require a clean drain.
+go test -count=1 -run 'TestDaemonSmoke' ./cmd/sisimd
+
+echo "== coverage floor =="
+# Gate total statement coverage just below the current level so test
+# debt cannot creep in silently. Raise the floor when coverage rises.
+floor=75.0
+go test -coverprofile=cover.out ./... > /dev/null
+total=$(go tool cover -func=cover.out | awk '/^total:/ { sub(/%/, "", $3); print $3 }')
+rm -f cover.out
+if ! awk -v t="$total" -v f="$floor" 'BEGIN { exit !(t >= f) }'; then
+    echo "total coverage ${total}% is below the ${floor}% floor" >&2
+    exit 1
+fi
+echo "ok (${total}% >= ${floor}%)"
+
 echo "== benchmark smoke =="
 # One iteration of the cheapest figure regeneration proves the bench
 # harness still runs; timing is not asserted here.
