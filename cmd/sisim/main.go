@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"subwarpsim"
+	"subwarpsim/internal/faults"
 	"subwarpsim/internal/simcache"
 )
 
@@ -133,15 +134,23 @@ func main() {
 		cfg.Trace = rec
 	}
 
+	// Deterministic fault injection from SISIM_FAULTS — the same spec
+	// grammar the daemon honors, for local drills and chaos replay.
+	injector, err := faults.FromEnv()
+	if err != nil {
+		fail("%v", err)
+	}
+	cfg.Faults = injector
+
 	// Content-addressed result reuse. Tracing bypasses the cache: a
 	// replayed Entry has counters but no event stream.
 	var cache simcache.Cache
 	var key simcache.Key
 	cached := false
 	if *cacheDir != "" && rec == nil {
-		if cache, err = simcache.NewDisk(*cacheDir); err != nil {
-			fail("%v", err)
-		}
+		d := simcache.NewDisk(*cacheDir)
+		d.Faults = injector
+		cache = d
 		key = simcache.KeyOf(cfg, kernel, workloadID)
 	}
 

@@ -19,6 +19,7 @@ import (
 	"syscall"
 	"time"
 
+	"subwarpsim/internal/faults"
 	"subwarpsim/internal/server"
 	"subwarpsim/internal/simcache"
 )
@@ -38,17 +39,37 @@ func main() {
 	timeout := flag.Duration("timeout", 2*time.Minute, "default per-job simulation timeout")
 	maxTimeout := flag.Duration("max-timeout", 10*time.Minute, "upper clamp on requested job timeouts")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "shutdown budget for in-flight jobs")
+	faultSpec := flag.String("faults", "", "deterministic fault-injection spec (overrides SISIM_FAULTS)")
+	cacheRetries := flag.Int("cache-retries", 2, "retries for transient disk-cache errors (-1 disables)")
+	breakerTrip := flag.Int("breaker-trip", 5, "consecutive disk-cache failures that trip the memory-only breaker")
+	breakerCooldown := flag.Duration("breaker-cooldown", 5*time.Second, "open-breaker cooldown before a recovery probe")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fail(fmt.Errorf("unexpected argument %q", flag.Arg(0)))
 	}
 
-	var cache simcache.Cache
-	if *cacheDir != "" {
-		var err error
-		if cache, err = simcache.NewDisk(*cacheDir); err != nil {
+	injector, err := faults.Parse(*faultSpec)
+	if err != nil {
+		fail(err)
+	}
+	if injector == nil {
+		if injector, err = faults.FromEnv(); err != nil {
 			fail(err)
 		}
+	}
+	// The disk cache (when configured) sits behind the resilience
+	// layer: transient errors retry, a dead disk trips the breaker and
+	// the daemon keeps serving memory-only (degraded, never wrong).
+	var cache simcache.Cache
+	if *cacheDir != "" {
+		d := simcache.NewDisk(*cacheDir)
+		d.Faults = injector
+		cache = simcache.NewResilient(d, simcache.ResilientOptions{
+			Retries:       *cacheRetries,
+			TripAfter:     *breakerTrip,
+			Cooldown:      *breakerCooldown,
+			MemoryEntries: *cacheEntries,
+		})
 	} else {
 		cache = simcache.NewMemory(*cacheEntries)
 	}
@@ -60,6 +81,7 @@ func main() {
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
 		Cache:          cache,
+		Faults:         injector,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -70,6 +92,9 @@ func main() {
 
 	// The smoke test and scripts parse this line for the bound port.
 	fmt.Printf("sisimd listening on %s\n", ln.Addr())
+	if injector != nil {
+		fmt.Printf("sisimd: fault injection active: %s\n", injector)
+	}
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()

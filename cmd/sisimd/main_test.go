@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
@@ -193,6 +194,157 @@ func TestDaemonDiskCachePersists(t *testing.T) {
 	}
 	if !runOnce() {
 		t.Error("second process must serve the job from the disk cache")
+	}
+}
+
+// TestDaemonDegradedServing is the acceptance drill for a failing
+// cache disk: -cache-dir points through a regular file, so every disk
+// operation fails with ENOTDIR (permission bits are useless here —
+// tests may run as root). The daemon must start anyway, serve correct
+// results memory-only with zero non-200 responses, trip the breaker,
+// report "degraded" on /healthz, and still drain cleanly.
+func TestDaemonDegradedServing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the daemon binary")
+	}
+	bin := buildDaemon(t)
+	blocker := filepath.Join(t.TempDir(), "not-a-dir")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cmd := exec.Command(bin,
+		"-addr", "127.0.0.1:0",
+		"-cache-dir", filepath.Join(blocker, "cache"),
+		"-cache-retries", "-1",
+		"-breaker-trip", "2",
+		"-breaker-cooldown", "1h")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		t.Fatalf("no startup line; stderr: %s", stderr.String())
+	}
+	base := "http://" + strings.TrimPrefix(sc.Text(), "sisimd listening on ")
+	go func() {
+		for sc.Scan() {
+		}
+	}()
+
+	// Distinct jobs hammer the dead disk past the trip threshold; every
+	// one must still return 200 with real results.
+	var lastCounters string
+	for i, body := range []string{
+		`{"microbench":1}`, `{"microbench":2}`, `{"microbench":4}`,
+	} {
+		resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var res map[string]any
+		err = json.NewDecoder(resp.Body).Decode(&res)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("job %d with dead disk = %d, want 200 (%v)", i, resp.StatusCode, res)
+		}
+		b, _ := json.Marshal(res["counters"])
+		lastCounters = string(b)
+	}
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health map[string]string
+	err = json.NewDecoder(resp.Body).Decode(&health)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || health["status"] != "degraded" {
+		t.Errorf("healthz = %d %v, want 200 with status degraded", resp.StatusCode, health)
+	}
+
+	// Memory-only serving still caches: the repeat is a hit with
+	// bit-identical counters, and no request has seen a 5xx.
+	resp, err = http.Post(base+"/v1/jobs", "application/json", strings.NewReader(`{"microbench":4}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var repeat map[string]any
+	err = json.NewDecoder(resp.Body).Decode(&repeat)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || repeat["cached"] != true {
+		t.Errorf("repeat with open breaker = %d cached=%v, want 200 from memory", resp.StatusCode, repeat["cached"])
+	}
+	if b, _ := json.Marshal(repeat["counters"]); string(b) != lastCounters {
+		t.Errorf("memory-cached counters differ:\n  first  %s\n  repeat %s", lastCounters, b)
+	}
+
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m struct {
+		Degraded bool `json:"degraded"`
+		Cache    struct {
+			BreakerTrips int64 `json:"breaker_trips"`
+			DiskErrors   int64 `json:"disk_errors"`
+		} `json:"cache"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&m)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Degraded || m.Cache.BreakerTrips != 1 || m.Cache.DiskErrors < 2 {
+		t.Errorf("metrics = %+v, want degraded with 1 trip and >=2 disk errors", m)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("degraded daemon exited uncleanly: %v\nstderr: %s", err, stderr.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("degraded daemon did not drain after SIGTERM")
+	}
+}
+
+// TestDaemonFaultSpecRejected: a malformed SISIM_FAULTS/-faults spec
+// fails startup loudly rather than silently injecting nothing.
+func TestDaemonFaultSpecRejected(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the daemon binary")
+	}
+	bin := buildDaemon(t)
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-faults", "server.admit=explode(p=1)")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatal("bad fault spec must fail startup")
+	}
+	if !strings.Contains(string(out), "explode") {
+		t.Errorf("output %q must name the bad kind", out)
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 
+	"subwarpsim/internal/faults"
 	"subwarpsim/internal/trace"
 )
 
@@ -158,6 +159,14 @@ type Config struct {
 	// emission site gates on a single nil check, so simulation results
 	// and performance are unchanged when unset.
 	Trace *trace.Recorder
+
+	// Faults optionally attaches the deterministic fault-injection
+	// layer to the run. Like Trace it is not an architecture
+	// parameter: it is excluded from the result-cache canonicalization
+	// (injected latency never changes simulated counters, and injected
+	// errors/panics abort the run before any result is published), and
+	// nil — the default — injects nothing.
+	Faults *faults.Injector
 }
 
 // Default returns the paper's baseline Turing-like configuration

@@ -1,0 +1,451 @@
+// Package faults is a seeded, deterministic fault-injection framework
+// for the serving stack. Call sites throughout internal/simcache,
+// internal/server and internal/gpu are named ("injection sites", the
+// Site* constants); an Injector arms rules against those names and
+// decides, per hit, whether to inject an error, extra latency, a
+// panic, a partial write, or byte corruption.
+//
+// Determinism is the point: every decision is a pure function of
+// (seed, site, rule index, per-site hit ordinal), computed by hashing
+// rather than by drawing from shared PRNG state. Two processes armed
+// with the same spec therefore inject the identical fault schedule as
+// long as each site is hit in the same order — which the chaos tests
+// arrange — and the recorded Event log makes any divergence visible.
+// A nil *Injector is valid everywhere and injects nothing, so
+// production hot paths pay a single nil check.
+//
+// Rules are armed programmatically (New) or from a spec string,
+// typically the SISIM_FAULTS environment variable:
+//
+//	SISIM_FAULTS='seed=7;simcache.disk.read=error(p=0.5,n=3);server.exec=panic(n=1)'
+//
+// The grammar is semicolon-separated clauses: an optional "seed=N"
+// plus any number of "site=kind(args)" rules, where kind is one of
+// error, latency, panic, partial, corrupt, and args are comma-
+// separated p= (activation probability, default 1), n= (max
+// activations, default unlimited), after= (initial immune hits,
+// default 0) and d= (injected delay for latency, e.g. 5ms).
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ErrInjected is the sentinel wrapped by every injected error, so
+// callers can errors.Is an injected failure apart from a real one.
+var ErrInjected = errors.New("injected fault")
+
+// Kind is the failure mode a rule injects.
+type Kind uint8
+
+const (
+	// KindError makes the site return an error wrapping ErrInjected.
+	KindError Kind = iota
+	// KindLatency delays the site by the rule's Delay, then proceeds.
+	KindLatency
+	// KindPanic panics at the site with a *PanicValue.
+	KindPanic
+	// KindPartial truncates the site's data (a torn write).
+	KindPartial
+	// KindCorrupt flips one byte of the site's data.
+	KindCorrupt
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindError:
+		return "error"
+	case KindLatency:
+		return "latency"
+	case KindPanic:
+		return "panic"
+	case KindPartial:
+		return "partial"
+	case KindCorrupt:
+		return "corrupt"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// ParseKind maps a spec keyword onto its Kind.
+func ParseKind(s string) (Kind, error) {
+	switch strings.ToLower(s) {
+	case "error":
+		return KindError, nil
+	case "latency":
+		return KindLatency, nil
+	case "panic":
+		return KindPanic, nil
+	case "partial":
+		return KindPartial, nil
+	case "corrupt":
+		return KindCorrupt, nil
+	default:
+		return 0, fmt.Errorf("faults: unknown kind %q (error, latency, panic, partial, corrupt)", s)
+	}
+}
+
+// Named injection sites threaded through the stack. Rules may target
+// any string; these constants are the sites the repo actually fires.
+const (
+	// SiteDiskRead guards simcache disk reads: error/latency before the
+	// read, corrupt/partial on the bytes read (tripping the checksum).
+	SiteDiskRead = "simcache.disk.read"
+	// SiteDiskWrite guards simcache disk writes: error/latency before
+	// the write, corrupt/partial on the bytes written (a torn write the
+	// next read detects).
+	SiteDiskWrite = "simcache.disk.write"
+	// SiteServerAdmit fires on job admission, before queueing.
+	SiteServerAdmit = "server.admit"
+	// SiteServerExec fires on a worker as the job starts executing.
+	SiteServerExec = "server.exec"
+	// SiteServerBatch fires once per /v1/batch request before fan-out.
+	SiteServerBatch = "server.batch"
+	// SiteSMRun fires inside each per-SM worker goroutine of
+	// gpu.RunContext, before the SM simulates.
+	SiteSMRun = "gpu.sm.run"
+)
+
+// Rule arms one fault against one site.
+type Rule struct {
+	// Site names the injection point the rule applies to.
+	Site string
+	// Kind is the failure mode.
+	Kind Kind
+	// P is the activation probability per eligible hit; 0 means 1.
+	P float64
+	// N caps total activations; 0 means unlimited.
+	N int
+	// After exempts the first After hits of the site.
+	After int
+	// Delay is the injected latency for KindLatency.
+	Delay time.Duration
+}
+
+func (r Rule) String() string {
+	var args []string
+	if r.P > 0 && r.P != 1 {
+		args = append(args, fmt.Sprintf("p=%g", r.P))
+	}
+	if r.N > 0 {
+		args = append(args, fmt.Sprintf("n=%d", r.N))
+	}
+	if r.After > 0 {
+		args = append(args, fmt.Sprintf("after=%d", r.After))
+	}
+	if r.Delay > 0 {
+		args = append(args, fmt.Sprintf("d=%s", r.Delay))
+	}
+	if len(args) == 0 {
+		return fmt.Sprintf("%s=%s", r.Site, r.Kind)
+	}
+	return fmt.Sprintf("%s=%s(%s)", r.Site, r.Kind, strings.Join(args, ","))
+}
+
+// Event records one injected fault: the replayable schedule.
+type Event struct {
+	Site string `json:"site"`
+	Hit  int    `json:"hit"` // 1-based per-site hit ordinal
+	Kind Kind   `json:"kind"`
+}
+
+// PanicValue is what KindPanic panics with, so recovery sites can tell
+// an injected panic from a genuine bug.
+type PanicValue struct {
+	Site string
+	Hit  int
+}
+
+func (p *PanicValue) String() string {
+	return fmt.Sprintf("injected panic at %s (hit %d)", p.Site, p.Hit)
+}
+
+// armed is one rule plus its activation count.
+type armed struct {
+	Rule
+	fired int
+}
+
+// Injector decides fault activations for named sites. Safe for
+// concurrent use; the nil Injector is valid and injects nothing.
+type Injector struct {
+	seed uint64
+
+	// SleepFn substitutes for time.Sleep on KindLatency; tests override
+	// it before use. Nil means time.Sleep.
+	SleepFn func(time.Duration)
+
+	mu     sync.Mutex
+	hits   map[string]int
+	rules  map[string][]*armed
+	events []Event
+}
+
+// New arms the given rules under a seed. Rules for the same site are
+// evaluated in the order given.
+func New(seed uint64, rules ...Rule) *Injector {
+	in := &Injector{
+		seed:  seed,
+		hits:  make(map[string]int),
+		rules: make(map[string][]*armed),
+	}
+	for _, r := range rules {
+		if r.P == 0 {
+			r.P = 1
+		}
+		in.rules[r.Site] = append(in.rules[r.Site], &armed{Rule: r})
+	}
+	return in
+}
+
+// Parse builds an Injector from a spec string (see the package
+// comment for the grammar). An empty spec returns a nil Injector.
+func Parse(spec string) (*Injector, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	seed := uint64(1)
+	var rules []Rule
+	for _, clause := range strings.Split(spec, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		site, rest, found := strings.Cut(clause, "=")
+		if !found {
+			return nil, fmt.Errorf("faults: clause %q is not site=kind or seed=N", clause)
+		}
+		site = strings.TrimSpace(site)
+		rest = strings.TrimSpace(rest)
+		if site == "seed" {
+			s, err := strconv.ParseUint(rest, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("faults: bad seed %q", rest)
+			}
+			seed = s
+			continue
+		}
+		rule := Rule{Site: site, P: 1}
+		kindName := rest
+		if open := strings.IndexByte(rest, '('); open >= 0 {
+			if !strings.HasSuffix(rest, ")") {
+				return nil, fmt.Errorf("faults: clause %q has an unclosed argument list", clause)
+			}
+			kindName = strings.TrimSpace(rest[:open])
+			for _, arg := range strings.Split(rest[open+1:len(rest)-1], ",") {
+				arg = strings.TrimSpace(arg)
+				if arg == "" {
+					continue
+				}
+				k, v, found := strings.Cut(arg, "=")
+				if !found {
+					return nil, fmt.Errorf("faults: argument %q in %q is not k=v", arg, clause)
+				}
+				var err error
+				switch k {
+				case "p":
+					rule.P, err = strconv.ParseFloat(v, 64)
+					if err == nil && (rule.P <= 0 || rule.P > 1) {
+						err = fmt.Errorf("p out of (0,1]")
+					}
+				case "n":
+					rule.N, err = strconv.Atoi(v)
+				case "after":
+					rule.After, err = strconv.Atoi(v)
+				case "d":
+					rule.Delay, err = time.ParseDuration(v)
+				default:
+					err = fmt.Errorf("unknown argument %q", k)
+				}
+				if err != nil {
+					return nil, fmt.Errorf("faults: clause %q: %s=%s: %v", clause, k, v, err)
+				}
+			}
+		}
+		kind, err := ParseKind(kindName)
+		if err != nil {
+			return nil, err
+		}
+		rule.Kind = kind
+		if rule.Kind == KindLatency && rule.Delay <= 0 {
+			return nil, fmt.Errorf("faults: clause %q: latency needs d=<duration>", clause)
+		}
+		rules = append(rules, rule)
+	}
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("faults: spec %q arms no rules", spec)
+	}
+	return New(seed, rules...), nil
+}
+
+// FromEnv parses the SISIM_FAULTS environment variable; unset or
+// empty yields a nil Injector.
+func FromEnv() (*Injector, error) {
+	return Parse(os.Getenv("SISIM_FAULTS"))
+}
+
+// Enabled reports whether any faults are armed. Nil-safe.
+func (in *Injector) Enabled() bool { return in != nil }
+
+// roll is the deterministic "random" draw in [0,1) for rule idx of
+// site at hit: a pure function of the seed and those coordinates.
+func (in *Injector) roll(site string, idx, hit int) float64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s|%d|%d", in.seed, site, idx, hit)
+	// 53 mantissa bits give a uniform float in [0,1).
+	return float64(h.Sum64()>>11) / (1 << 53)
+}
+
+// fire evaluates the site's rules for one hit and returns the rules
+// (restricted to the given kinds) that activate, recording events.
+// Caller holds no locks.
+func (in *Injector) fire(site string, want func(Kind) bool) []Rule {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.hits[site]++
+	hit := in.hits[site]
+	var out []Rule
+	for idx, a := range in.rules[site] {
+		if !want(a.Kind) {
+			continue
+		}
+		if hit <= a.After || (a.N > 0 && a.fired >= a.N) {
+			continue
+		}
+		if a.P < 1 && in.roll(site, idx, hit) >= a.P {
+			continue
+		}
+		a.fired++
+		in.events = append(in.events, Event{Site: site, Hit: hit, Kind: a.Kind})
+		out = append(out, a.Rule)
+	}
+	return out
+}
+
+// Fire evaluates the control-flow kinds (error, latency, panic) at a
+// site. Latency rules sleep and continue; a panic rule panics with a
+// *PanicValue; an error rule returns an error wrapping ErrInjected.
+// Nil-safe: a nil Injector returns nil.
+func (in *Injector) Fire(site string) error {
+	if in == nil {
+		return nil
+	}
+	var ferr error
+	for _, r := range in.fire(site, func(k Kind) bool {
+		return k == KindError || k == KindLatency || k == KindPanic
+	}) {
+		switch r.Kind {
+		case KindLatency:
+			sleep := in.SleepFn
+			if sleep == nil {
+				sleep = time.Sleep
+			}
+			sleep(r.Delay)
+		case KindPanic:
+			in.mu.Lock()
+			hit := in.hits[site]
+			in.mu.Unlock()
+			panic(&PanicValue{Site: site, Hit: hit})
+		case KindError:
+			if ferr == nil {
+				ferr = fmt.Errorf("%s: %w", site, ErrInjected)
+			}
+		}
+	}
+	return ferr
+}
+
+// Mangle evaluates the data kinds (partial, corrupt) at a site and
+// returns the possibly-damaged bytes. Partial truncates to a
+// deterministic prefix; corrupt flips one deterministic byte. The
+// input slice is never modified. Nil-safe: a nil Injector (or empty
+// data) returns data unchanged.
+func (in *Injector) Mangle(site string, data []byte) []byte {
+	if in == nil || len(data) == 0 {
+		return data
+	}
+	fired := in.fire(site, func(k Kind) bool {
+		return k == KindPartial || k == KindCorrupt
+	})
+	if len(fired) == 0 {
+		return data
+	}
+	in.mu.Lock()
+	hit := in.hits[site]
+	in.mu.Unlock()
+	out := append([]byte(nil), data...)
+	for _, r := range fired {
+		pos := int(in.roll(site+"|mangle", int(r.Kind), hit) * float64(len(out)))
+		if pos >= len(out) {
+			pos = len(out) - 1
+		}
+		switch r.Kind {
+		case KindPartial:
+			out = out[:pos]
+			if len(out) == 0 {
+				return out
+			}
+		case KindCorrupt:
+			out[pos] ^= 0x55
+		}
+	}
+	return out
+}
+
+// Events returns a copy of the injected-fault schedule so far, in
+// injection order. Nil-safe.
+func (in *Injector) Events() []Event {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return append([]Event(nil), in.events...)
+}
+
+// Hits returns per-site hit counts (visits to injection points,
+// whether or not anything fired). Nil-safe.
+func (in *Injector) Hits() map[string]int {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	m := make(map[string]int, len(in.hits))
+	for k, v := range in.hits {
+		m[k] = v
+	}
+	return m
+}
+
+// String renders the armed rules in site order (diagnostics).
+func (in *Injector) String() string {
+	if in == nil {
+		return "faults: none"
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	sites := make([]string, 0, len(in.rules))
+	for s := range in.rules {
+		sites = append(sites, s)
+	}
+	sort.Strings(sites)
+	var parts []string
+	parts = append(parts, fmt.Sprintf("seed=%d", in.seed))
+	for _, s := range sites {
+		for _, a := range in.rules[s] {
+			parts = append(parts, a.Rule.String())
+		}
+	}
+	return strings.Join(parts, ";")
+}

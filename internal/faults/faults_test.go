@@ -1,0 +1,228 @@
+package faults
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestNilInjectorIsInert: every method must be safe and inject nothing
+// on a nil receiver — the production fast path.
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if in.Enabled() {
+		t.Error("nil injector reports Enabled")
+	}
+	if err := in.Fire(SiteDiskRead); err != nil {
+		t.Errorf("nil Fire = %v", err)
+	}
+	data := []byte("payload")
+	if got := in.Mangle(SiteDiskWrite, data); !reflect.DeepEqual(got, data) {
+		t.Errorf("nil Mangle changed data: %q", got)
+	}
+	if ev := in.Events(); ev != nil {
+		t.Errorf("nil Events = %v", ev)
+	}
+	if h := in.Hits(); h != nil {
+		t.Errorf("nil Hits = %v", h)
+	}
+	if s := in.String(); !strings.Contains(s, "none") {
+		t.Errorf("nil String = %q", s)
+	}
+}
+
+// TestParseSpecs exercises the SISIM_FAULTS grammar.
+func TestParseSpecs(t *testing.T) {
+	valid := []string{
+		"simcache.disk.read=error",
+		"seed=42;simcache.disk.read=error(p=0.5,n=3)",
+		"server.exec=panic(n=1,after=2)",
+		"gpu.sm.run=latency(d=5ms,p=0.25)",
+		"simcache.disk.write=partial(n=1);simcache.disk.read=corrupt",
+		" seed=7 ; server.admit = error ( p=1 ) ",
+	}
+	for _, spec := range valid {
+		if in, err := Parse(spec); err != nil || in == nil {
+			t.Errorf("Parse(%q) = %v, %v; want injector", spec, in, err)
+		}
+	}
+	invalid := []string{
+		"nonsense",
+		"seed=abc;x=error",
+		"x=explode",
+		"x=error(p=2)",
+		"x=error(p=0)",
+		"x=error(q=1)",
+		"x=error(p=1",
+		"x=latency",        // latency needs d=
+		"x=latency(d=wat)", // bad duration
+		"seed=5",           // arms no rules
+		"x=error(n=a)",
+	}
+	for _, spec := range invalid {
+		if in, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) = %v, nil; want error", spec, in)
+		}
+	}
+	if in, err := Parse(""); err != nil || in != nil {
+		t.Errorf("Parse(\"\") = %v, %v; want nil, nil", in, err)
+	}
+}
+
+// TestErrorInjectionCountsAndWraps: n/after semantics are exact with
+// p=1 and injected errors wrap ErrInjected.
+func TestErrorInjectionCountsAndWraps(t *testing.T) {
+	in := New(1, Rule{Site: "s", Kind: KindError, N: 2, After: 1})
+	var errs int
+	for i := 0; i < 5; i++ {
+		if err := in.Fire("s"); err != nil {
+			errs++
+			if !errors.Is(err, ErrInjected) {
+				t.Errorf("injected error %v does not wrap ErrInjected", err)
+			}
+			if !strings.Contains(err.Error(), "s") {
+				t.Errorf("injected error %v does not name the site", err)
+			}
+		}
+	}
+	if errs != 2 {
+		t.Errorf("fired %d times, want 2 (after=1, n=2)", errs)
+	}
+	ev := in.Events()
+	if len(ev) != 2 || ev[0].Hit != 2 || ev[1].Hit != 3 {
+		t.Errorf("events = %+v, want hits 2 and 3", ev)
+	}
+	if h := in.Hits(); h["s"] != 5 {
+		t.Errorf("hits = %v, want s:5", h)
+	}
+}
+
+// TestSeededDeterminism: same seed, same hit sequence, same schedule;
+// a different seed diverges (with overwhelming probability over 200
+// p=0.5 draws).
+func TestSeededDeterminism(t *testing.T) {
+	schedule := func(seed uint64) []Event {
+		in := New(seed, Rule{Site: "a", Kind: KindError, P: 0.5},
+			Rule{Site: "b", Kind: KindError, P: 0.3})
+		for i := 0; i < 100; i++ {
+			in.Fire("a")
+			in.Fire("b")
+		}
+		return in.Events()
+	}
+	a, b := schedule(7), schedule(7)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different fault schedules")
+	}
+	if len(a) == 0 || len(a) == 200 {
+		t.Fatalf("p=0.5/0.3 schedule fired %d of 200: rolls look non-uniform", len(a))
+	}
+	if c := schedule(8); reflect.DeepEqual(a, c) {
+		t.Error("different seeds produced identical 200-draw schedules")
+	}
+}
+
+// TestPanicInjection: the panic payload identifies the site and hit.
+func TestPanicInjection(t *testing.T) {
+	in := New(1, Rule{Site: "s", Kind: KindPanic, After: 1})
+	if err := in.Fire("s"); err != nil {
+		t.Fatalf("hit 1 is immune, got %v", err)
+	}
+	defer func() {
+		v := recover()
+		pv, ok := v.(*PanicValue)
+		if !ok {
+			t.Fatalf("recovered %T %v, want *PanicValue", v, v)
+		}
+		if pv.Site != "s" || pv.Hit != 2 {
+			t.Errorf("panic value = %+v, want site s hit 2", pv)
+		}
+	}()
+	in.Fire("s")
+	t.Fatal("second hit must panic")
+}
+
+// TestLatencyInjection sleeps via the injectable clock.
+func TestLatencyInjection(t *testing.T) {
+	in := New(1, Rule{Site: "s", Kind: KindLatency, Delay: 5 * time.Millisecond, N: 1})
+	var slept time.Duration
+	in.SleepFn = func(d time.Duration) { slept += d }
+	for i := 0; i < 3; i++ {
+		if err := in.Fire("s"); err != nil {
+			t.Fatalf("latency must not return an error: %v", err)
+		}
+	}
+	if slept != 5*time.Millisecond {
+		t.Errorf("slept %v, want 5ms exactly once", slept)
+	}
+}
+
+// TestMangleDeterministicDamage: partial truncates, corrupt flips one
+// byte, both deterministically, and the input is never modified.
+func TestMangleDeterministicDamage(t *testing.T) {
+	orig := []byte(strings.Repeat("subwarp-interleaving-", 8))
+	keep := append([]byte(nil), orig...)
+
+	part := New(3, Rule{Site: "w", Kind: KindPartial})
+	p1 := part.Mangle("w", orig)
+	if len(p1) >= len(orig) {
+		t.Errorf("partial kept %d of %d bytes", len(p1), len(orig))
+	}
+
+	corr := New(3, Rule{Site: "w", Kind: KindCorrupt})
+	c1 := corr.Mangle("w", orig)
+	if len(c1) != len(orig) {
+		t.Fatalf("corrupt changed length %d -> %d", len(orig), len(c1))
+	}
+	diff := 0
+	for i := range c1 {
+		if c1[i] != orig[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Errorf("corrupt flipped %d bytes, want exactly 1", diff)
+	}
+
+	if !reflect.DeepEqual(orig, keep) {
+		t.Error("Mangle modified its input slice")
+	}
+
+	// Replay: same seed and hit index damage the same way.
+	part2 := New(3, Rule{Site: "w", Kind: KindPartial})
+	if p2 := part2.Mangle("w", keep); !reflect.DeepEqual(p1, p2) {
+		t.Error("partial damage is not replayable")
+	}
+}
+
+// TestFromEnv round-trips via the environment variable.
+func TestFromEnv(t *testing.T) {
+	t.Setenv("SISIM_FAULTS", "seed=9;server.exec=error(n=1)")
+	in, err := FromEnv()
+	if err != nil || in == nil {
+		t.Fatalf("FromEnv = %v, %v", in, err)
+	}
+	if err := in.Fire(SiteServerExec); !errors.Is(err, ErrInjected) {
+		t.Errorf("armed rule did not fire: %v", err)
+	}
+	t.Setenv("SISIM_FAULTS", "")
+	if in, err := FromEnv(); err != nil || in != nil {
+		t.Errorf("empty env = %v, %v; want nil, nil", in, err)
+	}
+}
+
+// TestRuleAndInjectorString: the diagnostics render armed rules.
+func TestRuleAndInjectorString(t *testing.T) {
+	in, err := Parse("seed=4;a=error(p=0.5,n=2);b=latency(d=1ms)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := in.String()
+	for _, want := range []string{"seed=4", "a=error(p=0.5,n=2)", "b=latency(d=1ms)"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+}

@@ -7,13 +7,34 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 
 	"subwarpsim/internal/config"
+	"subwarpsim/internal/faults"
 	"subwarpsim/internal/sm"
 	"subwarpsim/internal/stats"
 	"subwarpsim/internal/trace"
 )
+
+// PanicError reports a panic recovered inside one SM's simulation
+// goroutine. A panicking SM must never take down the process (the
+// serving layer runs many unrelated jobs on the same worker pool), so
+// RunContext converts it into an error carrying the panic value and
+// stack; callers detect it with errors.As and can quarantine the
+// offending job.
+type PanicError struct {
+	// SM is the index of the SM whose simulation panicked.
+	SM int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("sm %d panicked: %v", e.SM, e.Value)
+}
 
 // MaxCycles bounds a single simulation; kernels that exceed it are
 // reported as errors rather than hanging the harness. It is a variable
@@ -115,9 +136,24 @@ func RunContext(ctx context.Context, cfg config.Config, kernel *sm.Kernel, worke
 	maxCycles := MaxCycles
 	counters := make([]stats.Counters, len(sms))
 	errs := make([]error, len(sms))
+	// runSM simulates one SM, converting a panic — whether injected
+	// via cfg.Faults or a genuine model bug — into a *PanicError so a
+	// single bad job can never kill the process (or, on the parallel
+	// path, an unrecoverable worker goroutine).
+	runSM := func(i int, s *sm.SM) (c stats.Counters, err error) {
+		defer func() {
+			if v := recover(); v != nil {
+				err = &PanicError{SM: i, Value: v, Stack: debug.Stack()}
+			}
+		}()
+		if ierr := cfg.Faults.Fire(faults.SiteSMRun); ierr != nil {
+			return c, fmt.Errorf("sm %d: %w", i, ierr)
+		}
+		return s.RunContext(ctx, maxCycles)
+	}
 	if workers == 1 || len(sms) == 1 {
 		for i, s := range sms {
-			counters[i], errs[i] = s.RunContext(ctx, maxCycles)
+			counters[i], errs[i] = runSM(i, s)
 			if errs[i] != nil {
 				break // later SMs stay unsimulated, as before parallelism
 			}
@@ -131,7 +167,7 @@ func RunContext(ctx context.Context, cfg config.Config, kernel *sm.Kernel, worke
 				defer wg.Done()
 				sem <- struct{}{}
 				defer func() { <-sem }()
-				counters[i], errs[i] = s.RunContext(ctx, maxCycles)
+				counters[i], errs[i] = runSM(i, s)
 			}(i, s)
 		}
 		wg.Wait()

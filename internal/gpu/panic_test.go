@@ -1,0 +1,88 @@
+package gpu
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"subwarpsim/internal/config"
+	"subwarpsim/internal/faults"
+	"subwarpsim/internal/sm"
+	"subwarpsim/internal/workload"
+)
+
+// TestSMPanicIsRecovered: an injected panic inside an SM goroutine
+// must surface as a *PanicError instead of killing the process, on
+// both the sequential and the parallel path.
+func TestSMPanicIsRecovered(t *testing.T) {
+	for _, workers := range []int{1, 2} {
+		cfg := config.Default()
+		cfg.Faults = faults.New(1, faults.Rule{Site: faults.SiteSMRun, Kind: faults.KindPanic, N: 1})
+		k, err := workload.Microbench(workload.DefaultMicrobench(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = RunWorkers(cfg, k, workers)
+		if err == nil {
+			t.Fatalf("workers=%d: injected panic produced no error", workers)
+		}
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: err = %v, want *PanicError", workers, err)
+		}
+		if pe.Value == nil || len(pe.Stack) == 0 {
+			t.Errorf("workers=%d: panic error lacks value/stack: %+v", workers, pe)
+		}
+		if pv, ok := pe.Value.(*faults.PanicValue); !ok || pv.Site != faults.SiteSMRun {
+			t.Errorf("workers=%d: panic value = %#v, want injected PanicValue", workers, pe.Value)
+		}
+	}
+}
+
+// TestSMInjectedErrorSurfaces: an error rule at the SM site fails the
+// run with an error wrapping faults.ErrInjected.
+func TestSMInjectedErrorSurfaces(t *testing.T) {
+	cfg := config.Default()
+	cfg.Faults = faults.New(1, faults.Rule{Site: faults.SiteSMRun, Kind: faults.KindError, N: 1})
+	k, err := workload.Microbench(workload.DefaultMicrobench(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Run(cfg, k)
+	if !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("err = %v, want wrapped faults.ErrInjected", err)
+	}
+}
+
+// TestSMLatencyInjectionIsResultTransparent: injected wall-clock
+// latency must not change simulated counters — the determinism
+// contract survives slow backends.
+func TestSMLatencyInjectionIsResultTransparent(t *testing.T) {
+	mk := func() *sm.Kernel {
+		k, err := workload.Microbench(workload.DefaultMicrobench(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return k
+	}
+	clean, err := RunWorkers(config.Default(), mk(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := config.Default()
+	cfg.Faults = faults.New(1, faults.Rule{
+		Site: faults.SiteSMRun, Kind: faults.KindLatency, Delay: time.Millisecond})
+	slow, err := RunWorkers(cfg, mk(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.Counters != clean.Counters {
+		t.Errorf("latency injection changed counters:\n  clean %+v\n  slow  %+v",
+			clean.Counters, slow.Counters)
+	}
+	if len(cfg.Faults.Events()) != cfg.NumSMs {
+		t.Errorf("latency fired %d times, want once per SM (%d)",
+			len(cfg.Faults.Events()), cfg.NumSMs)
+	}
+}

@@ -15,13 +15,17 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"runtime"
+	"runtime/debug"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"subwarpsim/internal/config"
+	"subwarpsim/internal/faults"
 	"subwarpsim/internal/gpu"
 	"subwarpsim/internal/simcache"
 	"subwarpsim/internal/sm"
@@ -50,6 +54,10 @@ type Options struct {
 	Cache simcache.Cache
 	// MaxBatch bounds jobs per batch request; 0 means 256.
 	MaxBatch int
+	// Faults optionally injects deterministic failures at the server's
+	// sites (admission, execution, batch) and is threaded into every
+	// job's config so the per-SM site fires too; nil injects nothing.
+	Faults *faults.Injector
 }
 
 func (o Options) withDefaults() Options {
@@ -112,8 +120,9 @@ type Server struct {
 	taskWG   sync.WaitGroup // enqueued-but-unfinished tasks
 	draining atomic.Bool
 
-	mu      sync.Mutex
-	flights map[simcache.Key]*flight
+	mu         sync.Mutex
+	flights    map[simcache.Key]*flight
+	quarantine map[simcache.Key]string // keys whose simulation panicked -> reason
 
 	jobsTotal  atomic.Int64 // accepted submissions (incl. hits and coalesced)
 	jobsDone   atomic.Int64 // simulations completed successfully
@@ -121,6 +130,8 @@ type Server struct {
 	rejected   atomic.Int64 // 429s from queue backpressure
 	coalesced  atomic.Int64 // submissions that joined an in-flight twin
 	inFlight   atomic.Int64 // simulations currently on a worker
+	panics     atomic.Int64 // simulations that panicked (recovered + quarantined)
+	quarHits   atomic.Int64 // submissions rejected because their key is quarantined
 
 	latMu   sync.Mutex
 	latency stats.Histogram // microseconds per completed simulation
@@ -142,6 +153,7 @@ func New(opts Options) *Server {
 		baseCtx:    ctx,
 		cancelBase: cancel,
 		flights:    make(map[simcache.Key]*flight),
+		quarantine: make(map[simcache.Key]string),
 	}
 	s.latency.Name = "job latency (us)"
 	s.runSim = func(ctx context.Context, cfg config.Config, k *sm.Kernel) (gpu.Result, error) {
@@ -159,7 +171,7 @@ func (s *Server) worker() {
 	for t := range s.queue {
 		s.inFlight.Add(1)
 		started := time.Now()
-		res, err := s.runSim(t.fl.ctx, t.cfg, t.kernel)
+		res, err := s.runJob(t)
 		elapsed := time.Since(started)
 		s.inFlight.Add(-1)
 
@@ -177,10 +189,59 @@ func (s *Server) worker() {
 			s.latMu.Unlock()
 		} else {
 			s.jobsFailed.Add(1)
+			if msg, panicked := panicMessage(err); panicked {
+				// A panic means the simulator hit a state it cannot handle
+				// for this exact (config, program, workload): quarantine the
+				// key so repeats are refused up front instead of burning a
+				// worker on a known-bad input again.
+				s.panics.Add(1)
+				s.mu.Lock()
+				s.quarantine[t.key] = msg
+				s.mu.Unlock()
+			}
 		}
 		s.complete(t.key, t.fl, entry, err)
 		s.taskWG.Done()
 	}
+}
+
+// runJob performs one simulation behind a panic barrier, so a
+// panicking job fails its waiters instead of killing the worker pool.
+// gpu.RunContext already recovers per-SM panics into *gpu.PanicError;
+// the recover here catches panics from everything else on the job
+// path (and from test/chaos runSim fakes).
+func (s *Server) runJob(t task) (res gpu.Result, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &panicError{value: v, stack: debug.Stack()}
+		}
+	}()
+	if ierr := s.opts.Faults.Fire(faults.SiteServerExec); ierr != nil {
+		return gpu.Result{}, fmt.Errorf("exec fault: %w", ierr)
+	}
+	return s.runSim(t.fl.ctx, t.cfg, t.kernel)
+}
+
+// panicError is a job panic recovered at the worker boundary.
+type panicError struct {
+	value any
+	stack []byte
+}
+
+func (e *panicError) Error() string { return fmt.Sprintf("job panicked: %v", e.value) }
+
+// panicMessage reports whether err is (or wraps) a recovered panic,
+// and with what message.
+func panicMessage(err error) (string, bool) {
+	var wp *panicError
+	if errors.As(err, &wp) {
+		return wp.Error(), true
+	}
+	var pe *gpu.PanicError
+	if errors.As(err, &pe) {
+		return pe.Error(), true
+	}
+	return "", false
 }
 
 // complete publishes a flight's outcome and retires it.
@@ -222,10 +283,13 @@ func (s *Server) jobTimeout(spec JobSpec) time.Duration {
 	return d
 }
 
-// apiError is a submission failure with its HTTP status.
+// apiError is a submission failure with its HTTP status, an optional
+// Retry-After hint (seconds), and optional extra JSON body fields.
 type apiError struct {
-	status int
-	msg    string
+	status     int
+	msg        string
+	retryAfter int
+	extra      map[string]any
 }
 
 func (e *apiError) Error() string { return e.msg }
@@ -277,17 +341,37 @@ func resultFrom(key simcache.Key, spec JobSpec, e simcache.Entry, cached, coales
 // underlying simulation stops once every interested caller is gone.
 func (s *Server) Submit(ctx context.Context, spec JobSpec) (JobResult, error) {
 	if s.draining.Load() {
-		return JobResult{}, &apiError{http.StatusServiceUnavailable, "server is draining"}
+		return JobResult{}, &apiError{status: http.StatusServiceUnavailable, msg: "server is draining"}
+	}
+	if err := s.opts.Faults.Fire(faults.SiteServerAdmit); err != nil {
+		return JobResult{}, &apiError{status: http.StatusServiceUnavailable,
+			msg: "admission fault: " + err.Error()}
 	}
 	cfg, err := spec.Config()
 	if err != nil {
-		return JobResult{}, &apiError{http.StatusBadRequest, err.Error()}
+		return JobResult{}, &apiError{status: http.StatusBadRequest, msg: err.Error()}
 	}
+	// Thread the fault layer into the job so the per-SM site fires; the
+	// cache key deliberately ignores it (like Trace, it is not an
+	// architecture parameter).
+	cfg.Faults = s.opts.Faults
 	kernel, err := spec.BuildKernel()
 	if err != nil {
-		return JobResult{}, &apiError{http.StatusBadRequest, err.Error()}
+		return JobResult{}, &apiError{status: http.StatusBadRequest, msg: err.Error()}
 	}
 	key := simcache.KeyOf(cfg, kernel, spec.WorkloadID())
+
+	s.mu.Lock()
+	reason, quarantined := s.quarantine[key]
+	s.mu.Unlock()
+	if quarantined {
+		s.quarHits.Add(1)
+		return JobResult{}, &apiError{
+			status: http.StatusUnprocessableEntity,
+			msg:    "job is quarantined after a previous panic: " + reason,
+			extra:  map[string]any{"quarantined": true, "key": key.String()},
+		}
+	}
 	s.jobsTotal.Add(1)
 
 	if e, ok := s.cache.Get(key); ok {
@@ -321,7 +405,17 @@ func (s *Server) Submit(ctx context.Context, spec JobSpec) (JobResult, error) {
 			s.mu.Unlock()
 			fl.cancel()
 			s.rejected.Add(1)
-			return JobResult{}, &apiError{http.StatusTooManyRequests, "job queue is full, retry later"}
+			ra := s.retryAfterSec()
+			return JobResult{}, &apiError{
+				status:     http.StatusTooManyRequests,
+				msg:        "job queue is full, retry later",
+				retryAfter: ra,
+				extra: map[string]any{
+					"queue_depth":     len(s.queue),
+					"queue_cap":       cap(s.queue),
+					"retry_after_sec": ra,
+				},
+			}
 		}
 	}
 
@@ -329,22 +423,56 @@ func (s *Server) Submit(ctx context.Context, spec JobSpec) (JobResult, error) {
 	case <-fl.done:
 	case <-ctx.Done():
 		s.dropWaiter(fl)
-		return JobResult{}, &apiError{http.StatusRequestTimeout,
-			fmt.Sprintf("request abandoned: %v", ctx.Err())}
+		return JobResult{}, &apiError{status: http.StatusRequestTimeout,
+			msg: fmt.Sprintf("request abandoned: %v", ctx.Err())}
 	}
 	if fl.err != nil {
+		if _, panicked := panicMessage(fl.err); panicked {
+			// First occurrence of a panicking key: every coalesced waiter
+			// gets the structured 500; the worker has already quarantined
+			// the key, so re-submissions get 422 instead.
+			return JobResult{}, &apiError{
+				status: http.StatusInternalServerError,
+				msg:    fmt.Sprintf("simulation panicked, key quarantined: %v", fl.err),
+				extra:  map[string]any{"quarantined": true, "key": key.String()},
+			}
+		}
 		switch {
 		case errors.Is(fl.err, context.DeadlineExceeded):
-			return JobResult{}, &apiError{http.StatusGatewayTimeout,
-				fmt.Sprintf("job timed out: %v", fl.err)}
+			return JobResult{}, &apiError{status: http.StatusGatewayTimeout,
+				msg: fmt.Sprintf("job timed out: %v", fl.err)}
 		case errors.Is(fl.err, context.Canceled):
-			return JobResult{}, &apiError{http.StatusServiceUnavailable,
-				fmt.Sprintf("job cancelled: %v", fl.err)}
+			return JobResult{}, &apiError{status: http.StatusServiceUnavailable,
+				msg: fmt.Sprintf("job cancelled: %v", fl.err)}
 		default:
-			return JobResult{}, &apiError{http.StatusInternalServerError, fl.err.Error()}
+			return JobResult{}, &apiError{status: http.StatusInternalServerError, msg: fl.err.Error()}
 		}
 	}
 	return resultFrom(key, spec, fl.entry, false, joined), nil
+}
+
+// retryAfterSec estimates when queue capacity should free up: the p95
+// job latency times the jobs ahead of a new arrival, spread across the
+// worker pool. With no completed jobs yet there is nothing to model,
+// so the hint is the minimum.
+func (s *Server) retryAfterSec() int {
+	s.latMu.Lock()
+	n := s.latency.Count()
+	p95us := s.latency.Quantile(0.95)
+	s.latMu.Unlock()
+	if n == 0 {
+		return 1
+	}
+	ahead := int64(len(s.queue)) + s.inFlight.Load() + 1
+	sec := math.Ceil(float64(p95us) / 1e6 * float64(ahead) / float64(s.opts.Workers))
+	switch {
+	case sec < 1:
+		return 1
+	case sec > 120:
+		return 120
+	default:
+		return int(sec)
+	}
 }
 
 // Drain stops accepting jobs and waits for queued and in-flight work
@@ -375,23 +503,28 @@ func (s *Server) Drain(ctx context.Context) error {
 
 // Metrics is the /metrics payload.
 type Metrics struct {
-	UptimeSec    float64        `json:"uptime_sec"`
-	Draining     bool           `json:"draining"`
-	Workers      int            `json:"workers"`
-	QueueDepth   int            `json:"queue_depth"`
-	QueueCap     int            `json:"queue_cap"`
-	JobsInFlight int64          `json:"jobs_in_flight"`
-	JobsTotal    int64          `json:"jobs_total"`
-	JobsDone     int64          `json:"jobs_done"`
-	JobsFailed   int64          `json:"jobs_failed"`
-	Rejected     int64          `json:"rejected"`
-	Coalesced    int64          `json:"coalesced"`
-	Cache        simcache.Stats `json:"cache"`
-	CacheHitRate float64        `json:"cache_hit_rate"`
-	CacheEntries int            `json:"cache_entries"`
-	LatencyP50MS float64        `json:"latency_p50_ms"`
-	LatencyP95MS float64        `json:"latency_p95_ms"`
-	LatencyMaxMS float64        `json:"latency_max_ms"`
+	UptimeSec        float64        `json:"uptime_sec"`
+	Draining         bool           `json:"draining"`
+	Workers          int            `json:"workers"`
+	QueueDepth       int            `json:"queue_depth"`
+	QueueCap         int            `json:"queue_cap"`
+	JobsInFlight     int64          `json:"jobs_in_flight"`
+	JobsTotal        int64          `json:"jobs_total"`
+	JobsDone         int64          `json:"jobs_done"`
+	JobsFailed       int64          `json:"jobs_failed"`
+	Rejected         int64          `json:"rejected"`
+	Coalesced        int64          `json:"coalesced"`
+	Panics           int64          `json:"panics"`
+	QuarantinedKeys  int            `json:"quarantined_keys"`
+	QuarantineHits   int64          `json:"quarantine_hits"`
+	Degraded         bool           `json:"degraded"`
+	CorruptEvictions int64          `json:"corrupt_evictions"`
+	Cache            simcache.Stats `json:"cache"`
+	CacheHitRate     float64        `json:"cache_hit_rate"`
+	CacheEntries     int            `json:"cache_entries"`
+	LatencyP50MS     float64        `json:"latency_p50_ms"`
+	LatencyP95MS     float64        `json:"latency_p95_ms"`
+	LatencyMaxMS     float64        `json:"latency_max_ms"`
 }
 
 // MetricsSnapshot gathers the server's current metrics.
@@ -402,24 +535,32 @@ func (s *Server) MetricsSnapshot() Metrics {
 	p95 := s.latency.Quantile(0.95)
 	max := s.latency.Max()
 	s.latMu.Unlock()
+	s.mu.Lock()
+	quarantined := len(s.quarantine)
+	s.mu.Unlock()
 	return Metrics{
-		UptimeSec:    time.Since(s.start).Seconds(),
-		Draining:     s.draining.Load(),
-		Workers:      s.opts.Workers,
-		QueueDepth:   len(s.queue),
-		QueueCap:     cap(s.queue),
-		JobsInFlight: s.inFlight.Load(),
-		JobsTotal:    s.jobsTotal.Load(),
-		JobsDone:     s.jobsDone.Load(),
-		JobsFailed:   s.jobsFailed.Load(),
-		Rejected:     s.rejected.Load(),
-		Coalesced:    s.coalesced.Load(),
-		Cache:        cs,
-		CacheHitRate: cs.HitRate(),
-		CacheEntries: s.cache.Len(),
-		LatencyP50MS: float64(p50) / 1e3,
-		LatencyP95MS: float64(p95) / 1e3,
-		LatencyMaxMS: float64(max) / 1e3,
+		UptimeSec:        time.Since(s.start).Seconds(),
+		Draining:         s.draining.Load(),
+		Workers:          s.opts.Workers,
+		QueueDepth:       len(s.queue),
+		QueueCap:         cap(s.queue),
+		JobsInFlight:     s.inFlight.Load(),
+		JobsTotal:        s.jobsTotal.Load(),
+		JobsDone:         s.jobsDone.Load(),
+		JobsFailed:       s.jobsFailed.Load(),
+		Rejected:         s.rejected.Load(),
+		Coalesced:        s.coalesced.Load(),
+		Panics:           s.panics.Load(),
+		QuarantinedKeys:  quarantined,
+		QuarantineHits:   s.quarHits.Load(),
+		Degraded:         s.degraded(),
+		CorruptEvictions: cs.Corrupt,
+		Cache:            cs,
+		CacheHitRate:     cs.HitRate(),
+		CacheEntries:     s.cache.Len(),
+		LatencyP50MS:     float64(p50) / 1e3,
+		LatencyP95MS:     float64(p95) / 1e3,
+		LatencyMaxMS:     float64(max) / 1e3,
 	}
 }
 
@@ -450,15 +591,42 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeError(w http.ResponseWriter, err error) {
 	status := errStatus(err)
-	if status == http.StatusTooManyRequests {
-		w.Header().Set("Retry-After", "1")
+	body := map[string]any{"error": err.Error()}
+	var ae *apiError
+	if errors.As(err, &ae) {
+		if ae.retryAfter > 0 {
+			w.Header().Set("Retry-After", strconv.Itoa(ae.retryAfter))
+		} else if status == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", "1")
+		}
+		for k, v := range ae.extra {
+			body[k] = v
+		}
 	}
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+	writeJSON(w, status, body)
+}
+
+// degraded reports whether the result cache has fallen back to
+// memory-only serving (its disk circuit breaker is open).
+func (s *Server) degraded() bool {
+	d, ok := s.cache.(interface{ Degraded() bool })
+	return ok && d.Degraded()
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	if s.degraded() {
+		// Still 200: results remain correct (and cached in memory); only
+		// the persistence tier is down. Health checkers keep routing
+		// traffic here, and the status string tells operators why cache
+		// hit rates dropped.
+		writeJSON(w, http.StatusOK, map[string]string{
+			"status": "degraded",
+			"detail": "disk cache unavailable, serving memory-only",
+		})
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -475,7 +643,7 @@ func (s *Server) handleApps(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	var spec JobSpec
 	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
-		writeError(w, &apiError{http.StatusBadRequest, "bad job spec: " + err.Error()})
+		writeError(w, &apiError{status: http.StatusBadRequest, msg: "bad job spec: " + err.Error()})
 		return
 	}
 	res, err := s.Submit(r.Context(), spec)
@@ -500,16 +668,21 @@ type batchResponse struct {
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	var req batchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, &apiError{http.StatusBadRequest, "bad batch: " + err.Error()})
+		writeError(w, &apiError{status: http.StatusBadRequest, msg: "bad batch: " + err.Error()})
+		return
+	}
+	if err := s.opts.Faults.Fire(faults.SiteServerBatch); err != nil {
+		writeError(w, &apiError{status: http.StatusServiceUnavailable,
+			msg: "batch fault: " + err.Error()})
 		return
 	}
 	if len(req.Jobs) == 0 {
-		writeError(w, &apiError{http.StatusBadRequest, "batch has no jobs"})
+		writeError(w, &apiError{status: http.StatusBadRequest, msg: "batch has no jobs"})
 		return
 	}
 	if len(req.Jobs) > s.opts.MaxBatch {
-		writeError(w, &apiError{http.StatusBadRequest,
-			fmt.Sprintf("batch of %d exceeds limit %d", len(req.Jobs), s.opts.MaxBatch)})
+		writeError(w, &apiError{status: http.StatusBadRequest,
+			msg: fmt.Sprintf("batch of %d exceeds limit %d", len(req.Jobs), s.opts.MaxBatch)})
 		return
 	}
 	// Every item goes through Submit concurrently: identical specs

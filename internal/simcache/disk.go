@@ -5,81 +5,163 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io/fs"
+	"log"
 	"os"
 	"path/filepath"
 	"sync"
+
+	"subwarpsim/internal/faults"
 )
 
 // diskMagic is the first token of every cache file; files without it
 // are rejected as corrupt.
 const diskMagic = "sisimcache1"
 
-// disk is a directory-backed cache: one file per key, named by the
+// Disk is a directory-backed cache: one file per key, named by the
 // key's hex form. Each file is self-checking — a header line carrying
 // the SHA-256 of the JSON payload — so truncated or bit-flipped
 // entries are detected, rejected, and removed rather than served.
-type disk struct {
+//
+// Disk distinguishes three read outcomes: a hit, a miss (absent or
+// corrupt — corrupt entries are evicted, counted, and logged once per
+// key), and an I/O error (the backend itself failed). Plain Get/Put
+// swallow I/O errors to satisfy Cache; TryGet/TryPut surface them so
+// a resilience layer (NewResilient) can retry, count them, and trip a
+// circuit breaker.
+type Disk struct {
 	dir string
 
-	mu    sync.Mutex
-	stats Stats
+	// Faults optionally injects deterministic failures at the
+	// SiteDiskRead / SiteDiskWrite sites; nil injects nothing.
+	Faults *faults.Injector
+
+	// Logf receives the once-per-key corrupt-eviction reports; nil
+	// means the standard library logger.
+	Logf func(format string, args ...any)
+
+	mu     sync.Mutex
+	stats  Stats
+	logged map[Key]struct{}
 }
 
-// NewDisk returns a cache persisting entries under dir, creating it if
-// needed. Unlike the in-memory cache it is unbounded: sweeping old
-// entries is an operator concern (the files are plain content-named
-// JSON).
-func NewDisk(dir string) (Cache, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("simcache: %w", err)
-	}
-	return &disk{dir: dir}, nil
+// NewDisk returns a cache persisting entries under dir, creating it
+// if possible. Construction never fails: an unusable directory (e.g.
+// a read-only volume, or a path through a regular file) surfaces as
+// per-operation I/O errors, which the resilience layer degrades on —
+// the acceptance mode for serving with a broken disk is memory-only,
+// not a dead process. Unlike the in-memory cache a Disk is unbounded:
+// sweeping old entries is an operator concern (the files are plain
+// content-named JSON).
+func NewDisk(dir string) *Disk {
+	os.MkdirAll(dir, 0o755) // best effort; ops report failures
+	return &Disk{dir: dir, logged: make(map[Key]struct{})}
 }
 
-func (d *disk) path(k Key) string { return filepath.Join(d.dir, k.String()+".json") }
+func (d *Disk) path(k Key) string { return filepath.Join(d.dir, k.String()+".json") }
 
-func (d *disk) Get(k Key) (Entry, bool) {
-	raw, err := os.ReadFile(d.path(k))
+// Get returns the entry for k, treating backend I/O errors as misses
+// (standalone CLI behavior; the serving stack uses NewResilient over
+// TryGet instead).
+func (d *Disk) Get(k Key) (Entry, bool) {
+	e, ok, err := d.TryGet(k)
 	if err != nil {
 		d.count(func(s *Stats) { s.Misses++ })
 		return Entry{}, false
 	}
+	return e, ok
+}
+
+// TryGet returns the entry for k, whether it was present, and any
+// backend I/O error. A missing entry and a corrupt (evicted) entry
+// are both (zero, false, nil): the backend worked, the data was not
+// servable, and retrying cannot help. Corrupt entries additionally
+// increment the corrupt-evictions counter and are logged once per
+// key.
+func (d *Disk) TryGet(k Key) (Entry, bool, error) {
+	if err := d.Faults.Fire(faults.SiteDiskRead); err != nil {
+		return Entry{}, false, fmt.Errorf("simcache: read %s: %w", k, err)
+	}
+	raw, err := os.ReadFile(d.path(k))
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			d.count(func(s *Stats) { s.Misses++ })
+			return Entry{}, false, nil
+		}
+		return Entry{}, false, fmt.Errorf("simcache: read %s: %w", k, err)
+	}
+	raw = d.Faults.Mangle(faults.SiteDiskRead, raw)
 	e, err := decodeEntry(raw)
 	if err != nil {
 		// A corrupted entry must never be served; remove it so the next
-		// Put can rewrite it cleanly.
+		// Put can rewrite it cleanly, and tell the operator — once per
+		// key — what was thrown away.
 		os.Remove(d.path(k))
 		d.count(func(s *Stats) { s.Corrupt++; s.Misses++ })
-		return Entry{}, false
+		d.logCorrupt(k, err)
+		return Entry{}, false, nil
 	}
 	d.count(func(s *Stats) { s.Hits++ })
-	return e, true
+	return e, true, nil
 }
 
-func (d *disk) Put(k Key, e Entry) {
-	raw, err := encodeEntry(e)
-	if err != nil {
+// logCorrupt reports a corrupt eviction, once per key per process.
+func (d *Disk) logCorrupt(k Key, err error) {
+	d.mu.Lock()
+	if d.logged == nil {
+		d.logged = make(map[Key]struct{})
+	}
+	_, seen := d.logged[k]
+	d.logged[k] = struct{}{}
+	logf := d.Logf
+	d.mu.Unlock()
+	if seen {
 		return
 	}
-	// Write-then-rename keeps concurrent readers from ever observing a
-	// half-written file.
+	if logf == nil {
+		logf = log.Printf
+	}
+	logf("simcache: evicted corrupt entry %s: %v", k, err)
+}
+
+// Put stores the entry for k, swallowing backend I/O errors
+// (standalone CLI behavior; the serving stack uses NewResilient over
+// TryPut instead).
+func (d *Disk) Put(k Key, e Entry) { d.TryPut(k, e) }
+
+// TryPut stores the entry for k, surfacing backend I/O errors.
+// Write-then-rename keeps concurrent readers from ever observing a
+// half-written file; an injected partial/corrupt write damages the
+// renamed file's bytes, which the checksum rejects on the next read.
+func (d *Disk) TryPut(k Key, e Entry) error {
+	if err := d.Faults.Fire(faults.SiteDiskWrite); err != nil {
+		return fmt.Errorf("simcache: write %s: %w", k, err)
+	}
+	raw, err := encodeEntry(e)
+	if err != nil {
+		return fmt.Errorf("simcache: encode %s: %w", k, err)
+	}
+	raw = d.Faults.Mangle(faults.SiteDiskWrite, raw)
 	tmp, err := os.CreateTemp(d.dir, "put-*")
 	if err != nil {
-		return
+		return fmt.Errorf("simcache: write %s: %w", k, err)
 	}
 	_, werr := tmp.Write(raw)
 	cerr := tmp.Close()
 	if werr != nil || cerr != nil {
 		os.Remove(tmp.Name())
-		return
+		return fmt.Errorf("simcache: write %s: %w", k, errors.Join(werr, cerr))
 	}
 	if err := os.Rename(tmp.Name(), d.path(k)); err != nil {
 		os.Remove(tmp.Name())
+		return fmt.Errorf("simcache: write %s: %w", k, err)
 	}
+	return nil
 }
 
-func (d *disk) Len() int {
+func (d *Disk) Len() int {
 	names, err := filepath.Glob(filepath.Join(d.dir, "*.json"))
 	if err != nil {
 		return 0
@@ -87,13 +169,13 @@ func (d *disk) Len() int {
 	return len(names)
 }
 
-func (d *disk) Stats() Stats {
+func (d *Disk) Stats() Stats {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.stats
 }
 
-func (d *disk) count(f func(*Stats)) {
+func (d *Disk) count(f func(*Stats)) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	f(&d.stats)

@@ -1,0 +1,342 @@
+package simcache
+
+import (
+	"hash/fnv"
+	"sync"
+	"time"
+)
+
+// BreakerState is the disk circuit breaker's state.
+type BreakerState int32
+
+const (
+	// BreakerClosed: the disk backend is healthy; every operation goes
+	// through (with retries on transient errors).
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: consecutive failures exceeded the threshold; disk
+	// operations are skipped entirely until the cooldown passes.
+	BreakerOpen
+	// BreakerHalfOpen: the cooldown passed; exactly one probe
+	// operation is allowed through to test recovery.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// ResilientOptions tunes NewResilient. The zero value gives sane
+// serving defaults.
+type ResilientOptions struct {
+	// Retries is the number of extra attempts after a failed backend
+	// operation; 0 means 2 (three attempts total). Negative disables
+	// retrying.
+	Retries int
+	// RetryBase is the backoff ceiling for the first retry; it doubles
+	// per attempt up to RetryCap. Sleeps draw uniformly from
+	// [0, ceiling) — "full jitter" — so synchronized clients spread
+	// out. 0 means 2ms.
+	RetryBase time.Duration
+	// RetryCap bounds a single backoff sleep. 0 means 50ms.
+	RetryCap time.Duration
+	// RetryBudget caps the total backoff sleep one operation may
+	// accumulate; when spent, the operation fails without further
+	// attempts. 0 means 200ms.
+	RetryBudget time.Duration
+	// TripAfter is the consecutive-failure count that opens the
+	// breaker. 0 means 5.
+	TripAfter int
+	// Cooldown is how long the breaker stays open before allowing a
+	// half-open probe. 0 means 5s.
+	Cooldown time.Duration
+	// MemoryEntries bounds the in-memory LRU that fronts the disk and
+	// carries the cache through degraded mode. 0 means 4096.
+	MemoryEntries int
+	// Seed drives the deterministic jitter sequence. 0 means 1.
+	Seed uint64
+
+	// Clock and Sleep substitute time.Now and time.Sleep in tests.
+	Clock func() time.Time
+	Sleep func(time.Duration)
+}
+
+func (o ResilientOptions) withDefaults() ResilientOptions {
+	if o.Retries == 0 {
+		o.Retries = 2
+	}
+	if o.Retries < 0 {
+		o.Retries = 0
+	}
+	if o.RetryBase <= 0 {
+		o.RetryBase = 2 * time.Millisecond
+	}
+	if o.RetryCap <= 0 {
+		o.RetryCap = 50 * time.Millisecond
+	}
+	if o.RetryBudget <= 0 {
+		o.RetryBudget = 200 * time.Millisecond
+	}
+	if o.TripAfter <= 0 {
+		o.TripAfter = 5
+	}
+	if o.Cooldown <= 0 {
+		o.Cooldown = 5 * time.Second
+	}
+	if o.MemoryEntries <= 0 {
+		o.MemoryEntries = 4096
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Clock == nil {
+		o.Clock = time.Now
+	}
+	if o.Sleep == nil {
+		o.Sleep = time.Sleep
+	}
+	return o
+}
+
+// Resilient hardens a Disk backend for serving: an in-memory LRU
+// fronts every operation, transient disk errors are retried with
+// exponential backoff and full jitter under a per-operation budget,
+// and a circuit breaker trips after consecutive failures so a dead
+// disk degrades the cache to memory-only instead of taxing every
+// request with doomed I/O and retry sleeps. After the cooldown a
+// single half-open probe tests recovery; success closes the breaker
+// again.
+//
+// The degradation is invisible to correctness: a cache may forget,
+// never lie. Entries served from either layer carry the disk format's
+// checksum guarantee, and a miss merely re-simulates (the determinism
+// contract makes the result bit-identical).
+type Resilient struct {
+	disk *Disk
+	mem  Cache
+	o    ResilientOptions
+
+	mu       sync.Mutex
+	state    BreakerState
+	fails    int       // consecutive backend-op failures while closed
+	openedAt time.Time // when the breaker last opened
+	probing  bool      // a half-open probe is in flight
+	jitterN  uint64    // deterministic jitter draw counter
+
+	retries, diskErrors, trips, recoveries int64
+	hits, misses                           int64
+}
+
+// NewResilient wraps the disk backend. A nil disk yields a memory-only
+// cache that reports itself permanently healthy.
+func NewResilient(disk *Disk, opts ResilientOptions) *Resilient {
+	opts = opts.withDefaults()
+	return &Resilient{
+		disk: disk,
+		mem:  NewMemory(opts.MemoryEntries),
+		o:    opts,
+	}
+}
+
+// State returns the breaker's current state (after applying any due
+// open -> half-open transition).
+func (r *Resilient) State() BreakerState {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.state == BreakerOpen && !r.o.Clock().Before(r.openedAt.Add(r.o.Cooldown)) {
+		r.state = BreakerHalfOpen
+		r.probing = false
+	}
+	return r.state
+}
+
+// Degraded reports that the disk backend is tripped (open or probing
+// half-open): the cache is serving from memory only.
+func (r *Resilient) Degraded() bool { return r.disk != nil && r.State() != BreakerClosed }
+
+// allow reports whether a disk operation may proceed right now.
+func (r *Resilient) allow() bool {
+	if r.disk == nil {
+		return false
+	}
+	switch r.State() {
+	case BreakerClosed:
+		return true
+	case BreakerHalfOpen:
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		if r.probing {
+			return false
+		}
+		r.probing = true
+		return true
+	default:
+		return false
+	}
+}
+
+// succeeded records a successful disk operation.
+func (r *Resilient) succeeded() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.fails = 0
+	if r.state == BreakerHalfOpen {
+		r.state = BreakerClosed
+		r.probing = false
+		r.recoveries++
+	}
+}
+
+// failed records a disk operation that exhausted its retries.
+func (r *Resilient) failed() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.diskErrors++
+	switch r.state {
+	case BreakerHalfOpen:
+		// The probe failed: back to open, restart the cooldown.
+		r.state = BreakerOpen
+		r.openedAt = r.o.Clock()
+		r.probing = false
+		r.trips++
+	case BreakerClosed:
+		r.fails++
+		if r.fails >= r.o.TripAfter {
+			r.state = BreakerOpen
+			r.openedAt = r.o.Clock()
+			r.trips++
+		}
+	}
+}
+
+// jitter returns the deterministic "random" fraction in [0,1) for the
+// n-th backoff draw.
+func (r *Resilient) jitter() float64 {
+	r.mu.Lock()
+	r.jitterN++
+	n := r.jitterN
+	r.mu.Unlock()
+	h := fnv.New64a()
+	var buf [16]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(r.o.Seed >> (8 * i))
+		buf[8+i] = byte(n >> (8 * i))
+	}
+	h.Write(buf[:])
+	return float64(h.Sum64()>>11) / (1 << 53)
+}
+
+// withRetry runs op, retrying transient failures with exponential
+// backoff and full jitter until the attempt count or the sleep budget
+// runs out, then reports the breaker outcome.
+func (r *Resilient) withRetry(op func() error) error {
+	budget := r.o.RetryBudget
+	ceiling := r.o.RetryBase
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = op()
+		if err == nil {
+			r.succeeded()
+			return nil
+		}
+		if attempt >= r.o.Retries || budget <= 0 {
+			break
+		}
+		sleep := time.Duration(r.jitter() * float64(ceiling))
+		if sleep > budget {
+			sleep = budget
+		}
+		budget -= sleep
+		r.o.Sleep(sleep)
+		if ceiling *= 2; ceiling > r.o.RetryCap {
+			ceiling = r.o.RetryCap
+		}
+		r.mu.Lock()
+		r.retries++
+		r.mu.Unlock()
+	}
+	r.failed()
+	return err
+}
+
+// Get serves from the memory layer first, then — breaker permitting —
+// from disk, promoting disk hits into memory.
+func (r *Resilient) Get(k Key) (Entry, bool) {
+	if e, ok := r.mem.Get(k); ok {
+		r.mu.Lock()
+		r.hits++
+		r.mu.Unlock()
+		return e, true
+	}
+	var (
+		e  Entry
+		ok bool
+	)
+	if r.allow() {
+		err := r.withRetry(func() error {
+			var gerr error
+			e, ok, gerr = r.disk.TryGet(k)
+			return gerr
+		})
+		if err == nil && ok {
+			r.mem.Put(k, e)
+			r.mu.Lock()
+			r.hits++
+			r.mu.Unlock()
+			return e, true
+		}
+	}
+	r.mu.Lock()
+	r.misses++
+	r.mu.Unlock()
+	return Entry{}, false
+}
+
+// Put stores into the memory layer always, and into disk when the
+// breaker permits.
+func (r *Resilient) Put(k Key, e Entry) {
+	r.mem.Put(k, e)
+	if r.allow() {
+		r.withRetry(func() error { return r.disk.TryPut(k, e) })
+	}
+}
+
+// Len reports resident entries: disk when healthy (the superset),
+// memory when degraded or memory-only.
+func (r *Resilient) Len() int {
+	if r.disk != nil && !r.Degraded() {
+		return r.disk.Len()
+	}
+	return r.mem.Len()
+}
+
+// Stats merges this layer's traffic counts with the backend's
+// corrupt-eviction count and the resilience counters. Hits/Misses are
+// counted once per Get at this layer (not double-counted across the
+// memory and disk tiers).
+func (r *Resilient) Stats() Stats {
+	var s Stats
+	if r.disk != nil {
+		s.Corrupt = r.disk.Stats().Corrupt
+	}
+	s.Evictions = r.mem.Stats().Evictions
+	degraded := r.Degraded() // takes r.mu; compute before locking
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s.Hits = r.hits
+	s.Misses = r.misses
+	s.Retries = r.retries
+	s.DiskErrors = r.diskErrors
+	s.BreakerTrips = r.trips
+	s.BreakerRecoveries = r.recoveries
+	s.Degraded = degraded
+	return s
+}

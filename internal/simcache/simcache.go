@@ -108,12 +108,29 @@ func writeCanonicalConfig(w io.Writer, c config.Config) {
 }
 
 // Stats counts cache traffic. Corrupt counts entries rejected (and
-// discarded) because their stored checksum did not match.
+// discarded) because their stored checksum did not match. The
+// resilience fields (retries, breaker transitions, disk errors,
+// degraded) are populated only by caches that have those moving parts
+// (NewResilient); plain backends report zeros.
 type Stats struct {
 	Hits      int64 `json:"hits"`
 	Misses    int64 `json:"misses"`
 	Evictions int64 `json:"evictions"`
-	Corrupt   int64 `json:"corrupt"`
+	Corrupt   int64 `json:"corrupt_evictions"`
+
+	// Retries counts backend operations re-attempted after a transient
+	// error (each extra attempt is one retry).
+	Retries int64 `json:"retries,omitempty"`
+	// DiskErrors counts backend operations that failed even after
+	// retrying.
+	DiskErrors int64 `json:"disk_errors,omitempty"`
+	// BreakerTrips counts closed/half-open -> open transitions;
+	// BreakerRecoveries counts half-open -> closed transitions.
+	BreakerTrips      int64 `json:"breaker_trips,omitempty"`
+	BreakerRecoveries int64 `json:"breaker_recoveries,omitempty"`
+	// Degraded reports that the breaker is not closed: the cache is
+	// serving from memory only.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // HitRate returns hits/(hits+misses), 0 when empty.

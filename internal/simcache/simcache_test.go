@@ -125,10 +125,7 @@ func TestMemoryPutOverwrites(t *testing.T) {
 }
 
 func TestDiskRoundTrip(t *testing.T) {
-	c, err := NewDisk(t.TempDir())
-	if err != nil {
-		t.Fatal(err)
-	}
+	c := NewDisk(t.TempDir())
 	want := testEntry(4242)
 	c.Put(keyN(7), want)
 	got, ok := c.Get(keyN(7))
@@ -145,10 +142,8 @@ func TestDiskRoundTrip(t *testing.T) {
 
 func TestDiskCorruptedEntryRejected(t *testing.T) {
 	dir := t.TempDir()
-	c, err := NewDisk(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
+	c := NewDisk(dir)
+	c.Logf = t.Logf
 	c.Put(keyN(9), testEntry(123))
 	path := filepath.Join(dir, keyN(9).String()+".json")
 	raw, err := os.ReadFile(path)
@@ -178,10 +173,8 @@ func TestDiskCorruptedEntryRejected(t *testing.T) {
 
 func TestDiskTruncatedAndForeignFilesRejected(t *testing.T) {
 	dir := t.TempDir()
-	c, err := NewDisk(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
+	c := NewDisk(dir)
+	c.Logf = t.Logf
 	for name, content := range map[string]string{
 		keyN(1).String() + ".json": "",                        // empty
 		keyN(2).String() + ".json": diskMagic,                 // header only, no newline
@@ -204,15 +197,9 @@ func TestDiskTruncatedAndForeignFilesRejected(t *testing.T) {
 
 func TestDiskPersistsAcrossInstances(t *testing.T) {
 	dir := t.TempDir()
-	c1, err := NewDisk(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
+	c1 := NewDisk(dir)
 	c1.Put(keyN(5), testEntry(777))
-	c2, err := NewDisk(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
+	c2 := NewDisk(dir)
 	if got, ok := c2.Get(keyN(5)); !ok || got.Counters.Cycles != 777 {
 		t.Errorf("entry must survive across cache instances: %+v, %v", got, ok)
 	}

@@ -1,0 +1,37 @@
+// Package testutil holds shared test-only helpers. (Not to be
+// confused with internal/tst, the paper's Thread Status Table.)
+package testutil
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// VerifyNoLeaks snapshots the goroutine count and registers a cleanup
+// that fails the test if the count has not settled back by test end.
+// Call it first, before the test starts servers or pools, so
+// everything the test creates is in scope. The check polls briefly —
+// goroutine teardown after Close/Drain is asynchronous — and on
+// failure dumps every goroutine stack so the leaked one is findable.
+func VerifyNoLeaks(t *testing.T) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(3 * time.Second)
+		var n int
+		for {
+			n = runtime.NumGoroutine()
+			if n <= before {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		buf = buf[:runtime.Stack(buf, true)]
+		t.Errorf("goroutine leak: %d at start, %d after cleanup; all stacks:\n%s", before, n, buf)
+	})
+}

@@ -43,6 +43,18 @@ echo "== service smoke =="
 # content-addressed cache, then SIGTERM and require a clean drain.
 go test -count=1 -run 'TestDaemonSmoke' ./cmd/sisimd
 
+echo "== chaos gate =="
+# The fault-injection suites, twice each under the race detector, with
+# two fixed chaos seeds: seeded fault schedules must replay
+# byte-for-byte, injected faults must never produce a wrong result,
+# and the chaos tests' goroutine-leak checks must stay quiet.
+for seed in 1 7; do
+    echo "-- SISIM_CHAOS_SEED=$seed --"
+    SISIM_CHAOS_SEED=$seed go test -race -count=2 -run 'Chaos|Faults' \
+        ./internal/server ./internal/simcache
+done
+SISIM_CHAOS_SEED=1 go test -race -count=1 ./internal/faults
+
 echo "== coverage floor =="
 # Gate total statement coverage just below the current level so test
 # debt cannot creep in silently. Raise the floor when coverage rises.
