@@ -15,8 +15,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	"subwarpsim"
 	"subwarpsim/internal/faults"
@@ -45,6 +48,8 @@ func main() {
 	hist := flag.Bool("hist", false, "print latency histograms (load-to-use, stall duration, residency)")
 	timeout := flag.Duration("timeout", 0, "abort the simulation after this long (0 = no limit)")
 	cacheDir := flag.String("cache-dir", "", "reuse results from this content-addressed cache directory")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile taken after the simulation to this file")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fail("unexpected argument %q", flag.Arg(0))
@@ -161,6 +166,7 @@ func main() {
 			cached = true
 		}
 	}
+	var wall time.Duration
 	if !cached {
 		ctx := context.Background()
 		if *timeout > 0 {
@@ -168,7 +174,30 @@ func main() {
 			ctx, cancel = context.WithTimeout(ctx, *timeout)
 			defer cancel()
 		}
+		if *cpuProfile != "" {
+			f, perr := os.Create(*cpuProfile)
+			if perr != nil {
+				fail("%v", perr)
+			}
+			if perr := pprof.StartCPUProfile(f); perr != nil {
+				fail("starting CPU profile: %v", perr)
+			}
+			defer f.Close()
+		}
+		start := time.Now()
 		res, err = subwarpsim.RunContext(ctx, cfg, kernel, *jobs)
+		wall = time.Since(start)
+		if *cpuProfile != "" {
+			pprof.StopCPUProfile()
+		}
+		if *memProfile != "" {
+			if perr := writeFileWith(*memProfile, func(w io.Writer) error {
+				runtime.GC() // settle the heap so the profile shows retained state
+				return pprof.WriteHeapProfile(w)
+			}); perr != nil {
+				fail("writing %s: %v", *memProfile, perr)
+			}
+		}
 		if err != nil {
 			fail("%v", err)
 		}
@@ -190,6 +219,10 @@ func main() {
 	fmt.Printf("config    %s, L1 miss %d cy, %d warp slots/block\n",
 		cfg.PolicyName(), cfg.L1MissLatency, cfg.WarpSlotsPerBlock)
 	fmt.Printf("cycles    %d\n", c.Cycles)
+	if !cached && wall > 0 {
+		fmt.Printf("wall      %v (%.0f sim-cycles/sec)\n",
+			wall.Round(time.Millisecond), float64(c.Cycles)/wall.Seconds())
+	}
 	fmt.Printf("instrs    %d (IPC/block %.3f, SIMT efficiency %.1f%%)\n",
 		c.IssuedInstrs, d.IPC, d.SIMTEfficiency*100)
 	fmt.Printf("stalls    %.1f%% of time exposed on loads (%.1f%% in divergent code)\n",

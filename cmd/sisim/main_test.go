@@ -2,6 +2,7 @@ package main
 
 import (
 	"errors"
+	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
@@ -113,7 +114,8 @@ func TestCLICacheRoundTrip(t *testing.T) {
 	}
 }
 
-// TestCLIBaselineStillRuns guards the ordinary no-flag success path.
+// TestCLIBaselineStillRuns guards the ordinary no-flag success path,
+// including the throughput summary an uncached run must report.
 func TestCLIBaselineStillRuns(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds and runs the CLI binary")
@@ -123,9 +125,39 @@ func TestCLIBaselineStillRuns(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("exit %d: %s", code, stderr)
 	}
-	for _, want := range []string{"kernel", "cycles", "instrs"} {
+	for _, want := range []string{"kernel", "cycles", "instrs", "wall", "sim-cycles/sec"} {
 		if !strings.Contains(stdout, want) {
 			t.Errorf("output missing %q:\n%s", want, stdout)
+		}
+	}
+}
+
+// TestCLIProfileFlags: -cpuprofile and -memprofile must produce
+// non-empty pprof files alongside a normal run.
+func TestCLIProfileFlags(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the CLI binary")
+	}
+	bin := buildCLI(t)
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.prof")
+	mem := filepath.Join(dir, "mem.prof")
+	stdout, stderr, code := runCLI(t, bin,
+		"-microbench", "4", "-timeout", "2m", "-cpuprofile", cpu, "-memprofile", mem)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "cycles") {
+		t.Fatalf("profiled run must still print results:\n%s", stdout)
+	}
+	for _, path := range []string{cpu, mem} {
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Errorf("profile %s missing: %v", path, err)
+			continue
+		}
+		if fi.Size() == 0 {
+			t.Errorf("profile %s is empty", path)
 		}
 	}
 }

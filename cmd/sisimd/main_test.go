@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"errors"
+	"io"
 	"net/http"
 	"os"
 	"os/exec"
@@ -108,8 +109,10 @@ func TestDaemonSmoke(t *testing.T) {
 		t.Fatal(err)
 	}
 	var m struct {
-		JobsDone int64 `json:"jobs_done"`
-		Cache    struct {
+		JobsDone           int64   `json:"jobs_done"`
+		SimCyclesTotal     int64   `json:"sim_cycles_total"`
+		SimCyclesPerSecond float64 `json:"sim_cycles_per_second"`
+		Cache              struct {
 			Hits int64 `json:"hits"`
 		} `json:"cache"`
 	}
@@ -120,6 +123,10 @@ func TestDaemonSmoke(t *testing.T) {
 	}
 	if m.JobsDone != 1 || m.Cache.Hits != 1 {
 		t.Errorf("metrics: done=%d hits=%d, want 1/1", m.JobsDone, m.Cache.Hits)
+	}
+	if m.SimCyclesTotal <= 0 || m.SimCyclesPerSecond <= 0 {
+		t.Errorf("metrics: sim_cycles_total=%d sim_cycles_per_second=%v, want both > 0",
+			m.SimCyclesTotal, m.SimCyclesPerSecond)
 	}
 
 	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
@@ -328,6 +335,82 @@ func TestDaemonDegradedServing(t *testing.T) {
 		}
 	case <-time.After(30 * time.Second):
 		t.Fatal("degraded daemon did not drain after SIGTERM")
+	}
+}
+
+// startDaemon launches the built binary with extra flags and returns
+// the base URL; cleanup SIGTERMs it and waits for the drain.
+func startDaemon(t *testing.T, bin string, extra ...string) string {
+	t.Helper()
+	args := append([]string{"-addr", "127.0.0.1:0"}, extra...)
+	cmd := exec.Command(bin, args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Signal(syscall.SIGTERM)
+		cmd.Wait()
+	})
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		t.Fatalf("no startup line; stderr: %s", stderr.String())
+	}
+	base := "http://" + strings.TrimPrefix(sc.Text(), "sisimd listening on ")
+	go func() {
+		for sc.Scan() {
+		}
+	}()
+	return base
+}
+
+// TestDaemonPprofGating: /debug/pprof/ must 404 by default and serve
+// the profile index only when the daemon opted in with -pprof, without
+// shadowing the normal API surface.
+func TestDaemonPprofGating(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the daemon binary")
+	}
+	bin := buildDaemon(t)
+
+	get := func(base, path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var body strings.Builder
+		if _, err := io.Copy(&body, resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, body.String()
+	}
+
+	off := startDaemon(t, bin)
+	if code, _ := get(off, "/debug/pprof/"); code != http.StatusNotFound {
+		t.Errorf("without -pprof, /debug/pprof/ = %d, want 404", code)
+	}
+
+	on := startDaemon(t, bin, "-pprof")
+	if code, body := get(on, "/debug/pprof/"); code != http.StatusOK ||
+		!strings.Contains(body, "goroutine") {
+		t.Errorf("with -pprof, /debug/pprof/ = %d, want 200 with profile index", code)
+	}
+	if code, _ := get(on, "/debug/pprof/heap?debug=1"); code != http.StatusOK {
+		t.Errorf("with -pprof, heap profile = %d, want 200", code)
+	}
+	// The API surface must survive the wrapping mux, and /metrics must
+	// advertise the throughput gauge even before any job has run.
+	if code, body := get(on, "/metrics"); code != http.StatusOK ||
+		!strings.Contains(body, "sim_cycles_per_second") {
+		t.Errorf("with -pprof, /metrics = %d body %q, want 200 mentioning sim_cycles_per_second",
+			code, body)
 	}
 }
 

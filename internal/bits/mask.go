@@ -107,6 +107,17 @@ func (m Mask) ForEach(fn func(lane int)) {
 	}
 }
 
+// DropLowest returns m with its lowest set lane removed (the empty mask
+// stays empty). Together with Lowest it gives hot loops a closure-free
+// iteration idiom that visits lanes in the same ascending order as
+// ForEach:
+//
+//	for it := m; !it.Empty(); it = it.DropLowest() {
+//		lane := it.Lowest()
+//		...
+//	}
+func (m Mask) DropLowest() Mask { return m & (m - 1) }
+
 // String renders the mask as a hex literal plus population count,
 // e.g. "0x0000000f(4)".
 func (m Mask) String() string {

@@ -189,3 +189,29 @@ func TestQuickLanesAgreeWithHas(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// Property: the DropLowest/Lowest iteration idiom visits exactly the
+// lanes ForEach visits, in the same ascending order.
+func TestQuickDropLowestMatchesForEach(t *testing.T) {
+	f := func(a uint32) bool {
+		m := Mask(a)
+		var want []int
+		m.ForEach(func(lane int) { want = append(want, lane) })
+		var got []int
+		for it := m; !it.Empty(); it = it.DropLowest() {
+			got = append(got, it.Lowest())
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

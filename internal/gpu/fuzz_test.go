@@ -19,12 +19,13 @@ const fuzzMaxCycles = 500_000
 // terminating kernel program. Byte by byte it picks from a menu of ALU
 // ops, scoreboarded loads/textures with consumers, private-slot
 // stores, lane-predicated divergence regions (BSSY/@!P BRA/BSYNC),
-// and bounded lane-divergent loops. Register, predicate, barrier, and
-// scoreboard indices are reduced into valid ranges by construction, so
-// any input yields a program Build accepts; interesting inputs differ
-// in control structure, not validity. BRX and TRACE stay excluded —
-// indirect branch tables and RT-core state need coordinated setup the
-// generator doesn't model.
+// bounded lane-divergent loops, and BRX jump-table dispatches whose
+// lanes scatter over 2 or 4 reconverging case bodies. Register,
+// predicate, barrier, and scoreboard indices are reduced into valid
+// ranges by construction, so any input yields a program Build accepts;
+// interesting inputs differ in control structure, not validity. TRACE
+// stays excluded — RT-core state needs coordinated setup the generator
+// doesn't model.
 func fuzzProgram(data []byte) (*isa.Program, error) {
 	b := isa.NewBuilder("fuzzrun")
 	// Fixed prologue: r0 = lane, r1 = global tid, r2 = private output
@@ -57,7 +58,7 @@ func fuzzProgram(data []byte) (*isa.Program, error) {
 	sb := 0
 	for op := 0; op < 64 && pos < len(data); op++ {
 		c := next()
-		switch c % 10 {
+		switch c % 11 {
 		case 0:
 			b.Iadd(reg(next()), reg(next()), reg(next()))
 		case 1:
@@ -109,6 +110,30 @@ func fuzzProgram(data []byte) (*isa.Program, error) {
 			b.BraP(3, false, loop)
 		case 9:
 			b.Yield()
+		case 10: // BRX jump-table dispatch over reconverging case bodies
+			if len(open) >= 4 {
+				break
+			}
+			ways := 2 << (next() % 2) // 2 or 4 targets (power of two for IAND)
+			bar := uint8(len(open))
+			join := fmt.Sprintf("brxjoin%d", labels)
+			labels++
+			sel := reg(next())
+			b.Movi(sel, int32(ways-1))
+			b.Iand(sel, 0, sel) // lane & (ways-1): interleaved lanes per target
+			b.Bssy(bar, join)
+			const caseLen = 3 // IADDI + BRA + NOP pad
+			b.Imuli(sel, sel, caseLen)
+			caseBase := b.PC() + 2 // past the IADDI and BRX below
+			b.Iaddi(sel, sel, int32(caseBase))
+			b.Brx(sel)
+			for wy := 0; wy < ways; wy++ {
+				b.Iaddi(reg(byte(wy)), 0, int32(wy*7+1))
+				b.Bra(join)
+				b.Nop() // pad to caseLen
+			}
+			b.Label(join)
+			b.Bsync(bar)
 		}
 	}
 	for len(open) > 0 {
@@ -142,11 +167,12 @@ func FuzzRun(f *testing.F) {
 	f.Cleanup(func() { MaxCycles = old })
 
 	f.Add([]byte{2, 0})                          // tiny straight-line kernel
-	f.Add([]byte{16, 6, 9, 3, 1, 2, 7, 5, 0})    // one divergence region around a load
-	f.Add([]byte{7, 8, 4, 4, 26, 17, 6, 20, 16}) // loop plus texture traffic
+	f.Add([]byte{16, 6, 9, 3, 1, 2, 7, 5, 0})    // divergence region with mixed body
+	f.Add([]byte{7, 8, 4, 4, 26, 17, 6, 20, 16}) // loop plus memory traffic
 	f.Add([]byte{
 		31, 6, 9, 6, 3, 3, 1, 8, 2, 2, 7, 4, 4, 7, 5, 5, // nested regions, loop, stores
 	})
+	f.Add([]byte{32, 10, 0, 1, 3, 2, 2, 10, 1, 0, 5, 1}) // BRX dispatches around loads
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) == 0 {

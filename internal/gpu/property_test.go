@@ -17,7 +17,7 @@ import (
 
 // propBytes derives a deterministic byte stream for fuzzProgram.
 // allowDivergence=false restricts control bytes to the straight-line
-// menu entries (ALU, loads, textures, stores: c%10 in 0..5), so the
+// menu entries (ALU, loads, textures, stores: c%11 in 0..5), so the
 // generated kernel never splinters a warp.
 func propBytes(seed int64, n int, allowDivergence bool) []byte {
 	r := rand.New(rand.NewSource(seed))
@@ -26,9 +26,9 @@ func propBytes(seed int64, n int, allowDivergence bool) []byte {
 		if allowDivergence {
 			data[i] = byte(r.Intn(256))
 		} else {
-			// Uniform over {v < 250 : v%10 <= 5}; valid for control and
+			// Uniform over {v < 248 : v%11 <= 5}; valid for control and
 			// operand positions alike.
-			data[i] = byte(r.Intn(25)*10 + r.Intn(6))
+			data[i] = byte(r.Intn(23)*11 + r.Intn(6))
 		}
 	}
 	return data

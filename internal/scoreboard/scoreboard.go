@@ -57,11 +57,12 @@ func (f *File) check(id int) {
 // operation by those threads). Counters saturate at the maximum value.
 func (f *File) Inc(mask bits.Mask, id int) {
 	f.check(id)
-	mask.ForEach(func(lane int) {
+	for it := mask; !it.Empty(); it = it.DropLowest() {
+		lane := it.Lowest()
 		if f.counts[lane][id] < maxCount {
 			f.counts[lane][id]++
 		}
-	})
+	}
 }
 
 // Dec decrements counter id for the given lane (writeback of that
@@ -87,7 +88,9 @@ func (f *File) LaneCount(lane, id int) int {
 func (f *File) Count(mask bits.Mask, id int) int {
 	f.check(id)
 	total := 0
-	mask.ForEach(func(lane int) { total += int(f.counts[lane][id]) })
+	for it := mask; !it.Empty(); it = it.DropLowest() {
+		total += int(f.counts[it.Lowest()][id])
+	}
 	return total
 }
 
@@ -95,28 +98,26 @@ func (f *File) Count(mask bits.Mask, id int) int {
 // mask, i.e. a consumer with &req=id from those threads may issue.
 func (f *File) Ready(mask bits.Mask, id int) bool {
 	f.check(id)
-	ready := true
-	mask.ForEach(func(lane int) {
-		if f.counts[lane][id] != 0 {
-			ready = false
+	for it := mask; !it.Empty(); it = it.DropLowest() {
+		if f.counts[it.Lowest()][id] != 0 {
+			return false
 		}
-	})
-	return ready
+	}
+	return true
 }
 
 // Outstanding reports whether any counter of any lane in mask is
 // non-zero (used to detect pending long-latency operations).
 func (f *File) Outstanding(mask bits.Mask) bool {
-	out := false
-	mask.ForEach(func(lane int) {
+	for it := mask; !it.Empty(); it = it.DropLowest() {
+		lane := it.Lowest()
 		for id := 0; id < f.nsb; id++ {
 			if f.counts[lane][id] != 0 {
-				out = true
-				return
+				return true
 			}
 		}
-	})
-	return out
+	}
+	return false
 }
 
 // Reset zeroes all counters.

@@ -132,6 +132,8 @@ type Server struct {
 	inFlight   atomic.Int64 // simulations currently on a worker
 	panics     atomic.Int64 // simulations that panicked (recovered + quarantined)
 	quarHits   atomic.Int64 // submissions rejected because their key is quarantined
+	simCycles  atomic.Int64 // simulated cycles across completed simulations
+	simBusyNS  atomic.Int64 // wall time workers spent simulating successfully
 
 	latMu   sync.Mutex
 	latency stats.Histogram // microseconds per completed simulation
@@ -184,6 +186,8 @@ func (s *Server) worker() {
 			}
 			s.cache.Put(t.key, entry)
 			s.jobsDone.Add(1)
+			s.simCycles.Add(res.Counters.Cycles)
+			s.simBusyNS.Add(elapsed.Nanoseconds())
 			s.latMu.Lock()
 			s.latency.Observe(elapsed.Microseconds())
 			s.latMu.Unlock()
@@ -525,6 +529,12 @@ type Metrics struct {
 	LatencyP50MS     float64        `json:"latency_p50_ms"`
 	LatencyP95MS     float64        `json:"latency_p95_ms"`
 	LatencyMaxMS     float64        `json:"latency_max_ms"`
+	// SimCyclesTotal is the sum of simulated cycles over completed
+	// simulations; SimCyclesPerSecond divides it by the wall time
+	// workers spent producing them (simulation throughput, 0 until a
+	// job completes).
+	SimCyclesTotal     int64   `json:"sim_cycles_total"`
+	SimCyclesPerSecond float64 `json:"sim_cycles_per_second"`
 }
 
 // MetricsSnapshot gathers the server's current metrics.
@@ -538,6 +548,11 @@ func (s *Server) MetricsSnapshot() Metrics {
 	s.mu.Lock()
 	quarantined := len(s.quarantine)
 	s.mu.Unlock()
+	cycles := s.simCycles.Load()
+	perSec := 0.0
+	if busy := s.simBusyNS.Load(); busy > 0 {
+		perSec = float64(cycles) / (float64(busy) / 1e9)
+	}
 	return Metrics{
 		UptimeSec:        time.Since(s.start).Seconds(),
 		Draining:         s.draining.Load(),
@@ -561,6 +576,9 @@ func (s *Server) MetricsSnapshot() Metrics {
 		LatencyP50MS:     float64(p50) / 1e3,
 		LatencyP95MS:     float64(p95) / 1e3,
 		LatencyMaxMS:     float64(max) / 1e3,
+
+		SimCyclesTotal:     cycles,
+		SimCyclesPerSecond: perSec,
 	}
 }
 

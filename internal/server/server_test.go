@@ -431,6 +431,14 @@ func TestHealthzAndMetricsEndpoints(t *testing.T) {
 	if m.Workers != 1 || m.QueueCap != 64 {
 		t.Errorf("workers/queue = %d/%d", m.Workers, m.QueueCap)
 	}
+	// One real simulation completed, so the throughput gauges must be
+	// live: cycles accumulated and a positive cycles/sec rate.
+	if m.SimCyclesTotal <= 0 {
+		t.Errorf("sim_cycles_total = %d, want > 0 after a completed job", m.SimCyclesTotal)
+	}
+	if m.SimCyclesPerSecond <= 0 {
+		t.Errorf("sim_cycles_per_second = %v, want > 0 after a completed job", m.SimCyclesPerSecond)
+	}
 }
 
 // TestBadRequests covers the HTTP validation paths.

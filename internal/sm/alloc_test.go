@@ -1,0 +1,154 @@
+package sm
+
+import (
+	"testing"
+
+	"subwarpsim/internal/bits"
+	"subwarpsim/internal/config"
+	"subwarpsim/internal/isa"
+	"subwarpsim/internal/mem"
+)
+
+// allocSM builds a single-SM setup with warps admitted but not yet run,
+// so allocation tests and benchmarks can drive Block.step by hand.
+func allocSM(tb testing.TB, cfg config.Config, prog *isa.Program, warps int) *SM {
+	tb.Helper()
+	k := &Kernel{Program: prog, NumWarps: warps, WarpsPerCTA: warps, Memory: mem.NewMemory()}
+	s, err := NewSM(0, cfg, k)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for i := 0; i < warps; i++ {
+		s.Admit(i, i, 0, i)
+	}
+	return s
+}
+
+// loadLoop is a kernel dominated by scoreboarded global loads with
+// load-to-use consumers: one 128-byte line per lane, alternating
+// scoreboards so issue and writeback interleave.
+func loadLoop(n int) *isa.Program {
+	b := isa.NewBuilder("loadloop")
+	b.S2R(0, isa.SRLaneID)
+	b.Shl(1, 0, 7) // lane * 128: one line per lane
+	for i := 0; i < n; i++ {
+		sb := i % 2
+		b.Ldg(2, 1, int32(i*4), sb)
+		b.Iadd(3, 3, 2).Req(sb)
+	}
+	return b.Exit().MustBuild()
+}
+
+// TestBlockStepSteadyStateZeroAlloc pins the tentpole's core claim:
+// once warmed up, a cycle of the scheduler loop on an ALU-only kernel
+// performs zero heap allocations.
+func TestBlockStepSteadyStateZeroAlloc(t *testing.T) {
+	s := allocSM(t, testConfig(), straightLine(20000), 4)
+	blk := s.blocks[0]
+	now := int64(0)
+	for ; now < 512; now++ {
+		blk.step(now)
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		blk.step(now)
+		now++
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state Block.step allocates %.1f times per cycle, want 0", avg)
+	}
+	if blk.done {
+		t.Fatal("kernel finished inside the measured window; enlarge the program")
+	}
+}
+
+// TestLoadPathZeroAlloc covers the LDG issue path end to end — line
+// coalescing, L1D probes, writeback event scheduling, and event
+// drain — at steady state.
+func TestLoadPathZeroAlloc(t *testing.T) {
+	s := allocSM(t, testConfig(), loadLoop(4000), 2)
+	blk := s.blocks[0]
+	now := int64(0)
+	// Warm up past slice growth: event queue high-water mark, scratch
+	// buffers, and the L1D's steady miss/hit mix.
+	for ; now < 4096; now++ {
+		blk.step(now)
+	}
+	avg := testing.AllocsPerRun(500, func() {
+		blk.step(now)
+		now++
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state load path allocates %.1f times per cycle, want 0", avg)
+	}
+	if blk.done {
+		t.Fatal("kernel finished inside the measured window; enlarge the program")
+	}
+}
+
+// TestWritebackDrainZeroAlloc isolates the event-queue push/pop plus
+// applyWriteback path: scheduling and draining a full warp's writebacks
+// must not allocate once the queue's backing array has grown.
+func TestWritebackDrainZeroAlloc(t *testing.T) {
+	s := allocSM(t, testConfig(), loadLoop(4), 1)
+	blk := s.blocks[0]
+	w := blk.warps[0]
+	now := int64(100)
+	avg := testing.AllocsPerRun(200, func() {
+		w.sb.Inc(bits.FullMask, 0)
+		for lane := 0; lane < bits.WarpSize; lane++ {
+			blk.events.push(wbEvent{
+				at: now, warp: w, lane: lane,
+				reg: 2, sbid: 0, kind: wbLoad, addr: uint64(lane * 128),
+			})
+		}
+		blk.drainEvents(now)
+	})
+	if avg != 0 {
+		t.Fatalf("writeback schedule+drain allocates %.1f times per warp, want 0", avg)
+	}
+}
+
+// BenchmarkBlockStep measures one scheduler cycle on an ALU-dense
+// multi-warp block (the simulator's innermost loop).
+func BenchmarkBlockStep(b *testing.B) {
+	cfg := testConfig()
+	prog := straightLine(2000)
+	s := allocSM(b, cfg, prog, 8)
+	blk := s.blocks[0]
+	now := int64(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if blk.done {
+			b.StopTimer()
+			s = allocSM(b, cfg, prog, 8)
+			blk = s.blocks[0]
+			now = 0
+			b.StartTimer()
+		}
+		blk.step(now)
+		now++
+	}
+}
+
+// BenchmarkExecuteLoad measures a full-warp LDG issue (32 lanes, one
+// line each) plus the drain of its 32 writeback events.
+func BenchmarkExecuteLoad(b *testing.B) {
+	cfg := testConfig()
+	s := allocSM(b, cfg, loadLoop(4), 1)
+	blk := s.blocks[0]
+	w := blk.warps[0]
+	for lane := 0; lane < bits.WarpSize; lane++ {
+		w.regs[lane][1] = uint32(lane * 128)
+	}
+	in := isa.MakeInstr(isa.LDG)
+	in.Dst, in.SrcA, in.WrScbd = 2, 1, 0
+	now := int64(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blk.execute(w, in, now)
+		blk.drainEvents(now + 1_000_000)
+		now += 4
+	}
+}

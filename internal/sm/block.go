@@ -1,7 +1,6 @@
 package sm
 
 import (
-	"container/heap"
 	"math"
 	"math/rand"
 
@@ -49,20 +48,6 @@ type wbEvent struct {
 	val  uint32 // trace: precomputed result
 }
 
-type eventHeap []wbEvent
-
-func (h eventHeap) Len() int           { return len(h) }
-func (h eventHeap) Less(i, j int) bool { return h[i].at < h[j].at }
-func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)        { *h = append(*h, x.(wbEvent)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	*h = old[:n-1]
-	return ev
-}
-
 // warpSpec queues a not-yet-resident warp for a freed slot
 // (persistent-thread style waves when the launch exceeds occupancy).
 type warpSpec struct {
@@ -91,13 +76,36 @@ type Block struct {
 	warps   []*Warp
 	pending []warpSpec
 	l0i     *mem.Cache
-	events  eventHeap
+	events  eventQueue
 	rng     *rand.Rand
 
 	lastIssued int
 	counters   stats.Counters
-	statuses   []issueClass // scratch, refreshed each stepped cycle
 	done       bool
+
+	// Dirty-warp scheduling state. statuses caches each warp's issue
+	// class across cycles; a warp is re-classified (the expensive
+	// status() probe) only when an event that could change its class
+	// touched it — writeback arrival, fetch/selection completion, its
+	// own issue, SI demotion, or slot recycling — instead of re-scanning
+	// every warp every cycle. dirty flags warps touched by such an
+	// event; wakeAt is the cycle at which a time-bound class
+	// (classSelecting, classFetchWait) must be re-evaluated. Spuriously
+	// marking a warp dirty is always safe: re-classifying an unchanged
+	// warp is exactly what the pre-dirty-tracking scan did every cycle.
+	statuses []issueClass
+	dirty    []bool
+	wakeAt   []int64
+
+	// Per-instruction scratch buffers, owned by the block and reused
+	// across execute calls so the steady-state issue path never
+	// allocates. Each user truncates to length zero before filling;
+	// contents are dead between instructions. scratchLines dedups
+	// coalesced cache lines in executeLoad (replacing a per-call map);
+	// scratchGroups holds divergent-branch subgroups for
+	// executeBranch/executeBrx.
+	scratchLines  []lineFill
+	scratchGroups []subgroup
 
 	// rec is the optional observability recorder (cfg.Trace); nil when
 	// tracing is off, so every emission site costs one nil check.
@@ -118,7 +126,16 @@ func newBlock(id int, cfg config.Config, owner *SM) *Block {
 		l0i:      mem.NewCache("L0I", cfg.L0InstrBytes, 4, cfg.CacheLineBytes),
 		rng:      rand.New(rand.NewSource(int64(owner.id*1000 + id + 1))),
 		statuses: make([]issueClass, 0, cfg.WarpSlotsPerBlock),
+		dirty:    make([]bool, 0, cfg.WarpSlotsPerBlock),
+		wakeAt:   make([]int64, 0, cfg.WarpSlotsPerBlock),
 		rec:      cfg.Trace,
+	}
+}
+
+// markDirty flags a warp slot for re-classification on the next step.
+func (b *Block) markDirty(slot int) {
+	if slot < len(b.dirty) {
+		b.dirty[slot] = true
 	}
 }
 
@@ -132,7 +149,12 @@ func (b *Block) emit(cycle int64, w *Warp, pc int, mask bits.Mask, kind trace.Ki
 // the pending queue.
 func (b *Block) admit(spec warpSpec, resident int) {
 	if len(b.warps) < resident {
-		b.warps = append(b.warps, b.materialize(spec))
+		w := b.materialize(spec)
+		w.slot = len(b.warps)
+		b.warps = append(b.warps, w)
+		b.statuses = append(b.statuses, classCanIssue)
+		b.dirty = append(b.dirty, true)
+		b.wakeAt = append(b.wakeAt, 0)
 		return
 	}
 	b.pending = append(b.pending, spec)
@@ -172,15 +194,32 @@ func (b *Block) step(now int64) (issued bool, next int64) {
 
 	// Per-warp status scan; with SI, demote scoreboard-stalled subwarps
 	// (subwarp-stall is combinational, applying to every stalled warp).
-	b.statuses = b.statuses[:0]
-	for _, w := range b.warps {
-		st := b.status(w, now)
+	// Only dirty warps — and time-bound classes whose wake cycle arrived
+	// — pay the full status() re-classification; everything else keeps
+	// its cached class, which by construction cannot have changed. The
+	// demote attempt itself re-runs every stepped cycle for every
+	// scoreboard-stalled warp (its outcome depends on cross-warp TST/
+	// slot state, and each failed attempt counts a TSTOverflow), exactly
+	// as the full re-scan did.
+	for i, w := range b.warps {
+		st := b.statuses[i]
+		if b.dirty[i] ||
+			((st == classSelecting || st == classFetchWait) && now >= b.wakeAt[i]) {
+			b.dirty[i] = false
+			st = b.status(w, now)
+			switch st {
+			case classSelecting:
+				b.wakeAt[i] = w.selectDoneAt
+			case classFetchWait:
+				b.wakeAt[i] = w.fetchReadyAt
+			}
+		}
 		if st == classScbdWait && b.cfg.SI.Enabled {
 			if b.demote(w, now) {
 				st = classNoActive
 			}
 		}
-		b.statuses = append(b.statuses, st)
+		b.statuses[i] = st
 	}
 
 	if b.cfg.SI.Enabled {
@@ -240,8 +279,7 @@ func (b *Block) sampleState() (occ, subs, fill int) {
 // drainEvents applies all writebacks due at or before now.
 func (b *Block) drainEvents(now int64) {
 	for len(b.events) > 0 && b.events[0].at <= now {
-		ev := heap.Pop(&b.events).(wbEvent)
-		b.applyWriteback(ev, now)
+		b.applyWriteback(b.events.pop(), now)
 	}
 }
 
@@ -249,6 +287,7 @@ func (b *Block) drainEvents(now int64) {
 // broadcasts to the TST (subwarp-wakeup, Fig. 8b).
 func (b *Block) applyWriteback(ev wbEvent, now int64) {
 	w := ev.warp
+	b.markDirty(w.slot)
 	val := ev.val
 	if ev.kind != wbTrace {
 		val = b.sm.mem.Load(ev.addr)
@@ -280,6 +319,7 @@ func (b *Block) completeSelections(now int64) {
 			continue
 		}
 		w.pendingSelect = false
+		b.markDirty(w.slot)
 		if sub, ok := w.tab.Select(); ok {
 			w.activate(sub.Mask, sub.PC)
 			b.counters.SubwarpSelects++
@@ -429,6 +469,7 @@ func (b *Block) maybeTriggerSelect(now int64) {
 		w.pendingSelect = true
 		w.selectDoneAt = now + int64(b.cfg.SI.SwitchLatency)
 		b.statuses[i] = classSelecting
+		b.wakeAt[i] = w.selectDoneAt
 		if b.rec != nil {
 			b.emit(now, w, -1, 0, trace.KindSelectStart, b.cfg.SI.SwitchLatency)
 		}
@@ -461,6 +502,10 @@ func (b *Block) issue(now int64) bool {
 	b.lastIssued = pick
 	w := b.warps[pick]
 	b.execute(w, b.sm.prog.At(w.activePC), now)
+	// Executing changed the warp's own state (PC, masks, scoreboards);
+	// re-classify it next cycle. No other warp's class can change from
+	// this issue alone.
+	b.dirty[pick] = true
 	return true
 }
 
@@ -541,8 +586,11 @@ func (b *Block) addIdle(s idleSummary, n int64) {
 func (b *Block) retireExited() {
 	for i, w := range b.warps {
 		if w.exited && len(b.pending) > 0 {
-			b.warps[i] = b.materialize(b.pending[0])
+			nw := b.materialize(b.pending[0])
+			nw.slot = i
+			b.warps[i] = nw
 			b.pending = b.pending[1:]
+			b.dirty[i] = true
 		}
 	}
 	if len(b.pending) == 0 && b.liveWarps() == 0 {

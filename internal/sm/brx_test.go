@@ -1,0 +1,102 @@
+package sm
+
+import (
+	"testing"
+
+	"subwarpsim/internal/config"
+	"subwarpsim/internal/isa"
+	"subwarpsim/internal/tst"
+)
+
+// brxScatter builds a kernel whose BRX scatters interleaved lanes
+// (lane % ways) over `ways` case bodies that reconverge at a barrier.
+// Interleaved lanes make every group's mask non-contiguous, so any
+// instability in executeBrx's grouping order would be visible.
+func brxScatter(ways int) *isa.Program {
+	b := isa.NewBuilder("brxscatter")
+	b.S2R(0, isa.SRLaneID)
+	b.Movi(1, int32(ways-1))
+	b.Iand(1, 0, 1) // lane % ways (ways is a power of two)
+	b.Bssy(0, "join")
+	const caseLen = 3
+	b.Imuli(1, 1, caseLen)
+	caseBase := b.PC() + 2
+	b.Iaddi(1, 1, int32(caseBase))
+	b.Brx(1)
+	for wy := 0; wy < ways; wy++ {
+		b.Iaddi(2, 0, int32(wy+1))
+		b.Bra("join")
+		b.Nop() // pad to caseLen
+	}
+	b.Label("join")
+	b.Bsync(0)
+	return b.Exit().MustBuild()
+}
+
+// TestBrxSplinterOrderAscendingPC pins the contract the slice-based
+// grouping in executeBrx must keep: groups reach splinter sorted by
+// target PC ascending, so OrderTakenFirst activates the lowest target
+// and OrderFallthroughFirst the highest, with the remaining groups
+// parked READY.
+func TestBrxSplinterOrderAscendingPC(t *testing.T) {
+	for _, tc := range []struct {
+		order   config.SubwarpOrder
+		winCase int // index (by ascending target PC) of the expected winner
+	}{
+		{config.OrderTakenFirst, 0},
+		{config.OrderFallthroughFirst, 3},
+	} {
+		cfg := testConfig()
+		cfg.Order = tc.order
+		s := allocSM(t, cfg, brxScatter(4), 1)
+		blk := s.blocks[0]
+		w := blk.warps[0]
+		now := int64(0)
+		// Step until the BRX has executed (warp diverges).
+		for i := 0; i < 100 && w.tab.LiveSubwarps() == 1; i++ {
+			blk.step(now)
+			now++
+		}
+		if got := w.tab.LiveSubwarps(); got != 4 {
+			t.Fatalf("order %v: LiveSubwarps = %d after BRX, want 4", tc.order, got)
+		}
+		// Case bodies are laid out in ascending-PC order and case wy
+		// serves lanes with lane%4 == wy, so the winner's mask identifies
+		// which ascending-PC group won the election.
+		wantLane := tc.winCase
+		if !w.active.Has(wantLane) {
+			t.Errorf("order %v: active mask %v does not contain lane %d (ascending-PC group %d)",
+				tc.order, w.active, wantLane, tc.winCase)
+		}
+		if n := w.active.Count(); n != 8 {
+			t.Errorf("order %v: active group has %d lanes, want 8", tc.order, n)
+		}
+		if ready := w.tab.Mask(tst.Ready).Count(); ready != 24 {
+			t.Errorf("order %v: READY lanes = %d, want 24", tc.order, ready)
+		}
+	}
+}
+
+// TestBrxDeterministicAcrossRuns is the splinter-order regression test:
+// under OrderRandom and OrderLargestFirst — the policies whose winner
+// depends on the order groups are presented in (rng draws, tie-breaks)
+// — repeated runs of a multi-target BRX kernel must produce identical
+// counters. The old map-iteration grouping only passed this because a
+// trailing sort repaired the order; the slice grouping must keep it
+// true by construction.
+func TestBrxDeterministicAcrossRuns(t *testing.T) {
+	for _, order := range []config.SubwarpOrder{
+		config.OrderRandom, config.OrderLargestFirst,
+	} {
+		cfg := testConfig()
+		cfg.Order = order
+		base, _ := run(t, cfg, brxScatter(4), 6)
+		for trial := 1; trial < 5; trial++ {
+			got, _ := run(t, cfg, brxScatter(4), 6)
+			if got != base {
+				t.Fatalf("order %v trial %d: counters diverge across identical runs:\n  first %+v\n  now   %+v",
+					order, trial, base, got)
+			}
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package sm
+
+// eventQueue is the block's pending-writeback queue: a binary min-heap
+// of wbEvent values ordered by due time.
+//
+// It replaces container/heap on the per-cycle hot path: the generic
+// heap API moves every element through an `any`, which boxes the
+// 48-byte wbEvent on push AND on pop — two heap allocations per
+// scheduled writeback (one per load lane). The inlined value-typed
+// implementation below never boxes, so steady-state push/pop is
+// allocation-free once the backing slice has grown to the workload's
+// high-water mark.
+//
+// Correctness constraint: pop order must be BIT-IDENTICAL to what
+// container/heap produced, including for events with equal due times —
+// same-cycle writebacks to the same lane/register apply in queue pop
+// order, and trace streams record that order. The sift-up and
+// sift-down loops therefore mirror container/heap's up/down exactly
+// (strict-less comparisons, left-child preference on ties, pop via
+// swap-to-end then sift over the shortened prefix); events_test.go
+// keeps a differential test against container/heap as the guard rail.
+type eventQueue []wbEvent
+
+// push inserts ev, maintaining the heap invariant.
+func (q *eventQueue) push(ev wbEvent) {
+	h := append(*q, ev)
+	// Sift up, mirroring container/heap.up: stop when the child is not
+	// strictly less than its parent.
+	j := len(h) - 1
+	for j > 0 {
+		i := (j - 1) / 2 // parent
+		if h[i].at <= h[j].at {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
+	*q = h
+}
+
+// pop removes and returns the minimum event. It must only be called on
+// a non-empty queue (callers gate on len > 0, exactly as the
+// container/heap version did).
+func (q *eventQueue) pop() wbEvent {
+	h := *q
+	n := len(h) - 1
+	h[0], h[n] = h[n], h[0]
+	// Sift down over h[0:n], mirroring container/heap.down: prefer the
+	// left child unless the right is strictly less, stop when neither
+	// child is strictly less than the parent.
+	i := 0
+	for {
+		j := 2*i + 1 // left child
+		if j >= n {
+			break
+		}
+		if j2 := j + 1; j2 < n && h[j2].at < h[j].at {
+			j = j2
+		}
+		if h[i].at <= h[j].at {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+	ev := h[n]
+	*q = h[:n]
+	return ev
+}

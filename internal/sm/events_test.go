@@ -1,0 +1,87 @@
+package sm
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+)
+
+// refHeap is the container/heap implementation eventQueue replaced,
+// kept here as the ordering oracle: pop order — including among events
+// with equal due times — must stay bit-identical, because same-cycle
+// writebacks apply in pop order.
+type refHeap []wbEvent
+
+func (h refHeap) Len() int           { return len(h) }
+func (h refHeap) Less(i, j int) bool { return h[i].at < h[j].at }
+func (h refHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x any)        { *h = append(*h, x.(wbEvent)) }
+func (h *refHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}
+
+// TestEventQueueMatchesContainerHeap drives eventQueue and
+// container/heap through identical interleaved push/pop sequences with
+// heavy due-time ties (lane distinguishes tied events) and requires
+// every popped event to match exactly.
+func TestEventQueueMatchesContainerHeap(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		var q eventQueue
+		var ref refHeap
+		lane := 0
+		for op := 0; op < 400; op++ {
+			if len(ref) == 0 || rng.Intn(3) != 0 {
+				// Small time range forces many ties.
+				ev := wbEvent{
+					at:   int64(rng.Intn(8)),
+					lane: lane % 32,
+					reg:  uint8(lane % 200),
+					sbid: int8(lane % 8),
+				}
+				lane++
+				q.push(ev)
+				heap.Push(&ref, ev)
+			} else {
+				got := q.pop()
+				want := heap.Pop(&ref).(wbEvent)
+				if got != want {
+					t.Fatalf("trial %d op %d: pop mismatch:\n  got  %+v\n  want %+v",
+						trial, op, got, want)
+				}
+			}
+			if len(q) != len(ref) {
+				t.Fatalf("trial %d op %d: length mismatch %d vs %d", trial, op, len(q), len(ref))
+			}
+		}
+		for len(ref) > 0 {
+			got := q.pop()
+			want := heap.Pop(&ref).(wbEvent)
+			if got != want {
+				t.Fatalf("trial %d drain: pop mismatch:\n  got  %+v\n  want %+v", trial, got, want)
+			}
+		}
+	}
+}
+
+// TestEventQueuePopOrderSorted checks the basic min-heap property on
+// its own: pops come out in non-decreasing due time.
+func TestEventQueuePopOrderSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var q eventQueue
+	for i := 0; i < 1000; i++ {
+		q.push(wbEvent{at: int64(rng.Intn(100))})
+	}
+	last := int64(-1)
+	for len(q) > 0 {
+		ev := q.pop()
+		if ev.at < last {
+			t.Fatalf("pop went backwards: %d after %d", ev.at, last)
+		}
+		last = ev.at
+	}
+}

@@ -1,10 +1,8 @@
 package sm
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
-	"sort"
 
 	"subwarpsim/internal/bits"
 	"subwarpsim/internal/config"
@@ -33,66 +31,81 @@ func (b *Block) execute(w *Warp, in isa.Instr, now int64) {
 		w.setActivePCs(pc + 1)
 
 	case isa.MOVI:
-		mask.ForEach(func(l int) { w.regs[l][in.Dst] = uint32(in.Imm) })
+		for it := mask; !it.Empty(); it = it.DropLowest() {
+			w.regs[it.Lowest()][in.Dst] = uint32(in.Imm)
+		}
 		w.setActivePCs(pc + 1)
 
 	case isa.MOV:
-		mask.ForEach(func(l int) { w.regs[l][in.Dst] = w.regs[l][in.SrcA] })
+		for it := mask; !it.Empty(); it = it.DropLowest() {
+			l := it.Lowest()
+			w.regs[l][in.Dst] = w.regs[l][in.SrcA]
+		}
 		w.setActivePCs(pc + 1)
 
 	case isa.S2R:
-		mask.ForEach(func(l int) { w.regs[l][in.Dst] = w.special(int(in.SrcA), l) })
+		for it := mask; !it.Empty(); it = it.DropLowest() {
+			l := it.Lowest()
+			w.regs[l][in.Dst] = w.special(int(in.SrcA), l)
+		}
 		w.setActivePCs(pc + 1)
 
 	case isa.IADD, isa.IMUL, isa.IAND, isa.IOR, isa.IXOR,
 		isa.FADD, isa.FMUL:
-		mask.ForEach(func(l int) {
+		for it := mask; !it.Empty(); it = it.DropLowest() {
+			l := it.Lowest()
 			w.regs[l][in.Dst] = alu2(in.Op, w.regs[l][in.SrcA], w.regs[l][in.SrcB])
-		})
+		}
 		w.setActivePCs(pc + 1)
 
 	case isa.IADDI, isa.IMULI, isa.SHL, isa.SHR:
-		mask.ForEach(func(l int) {
+		for it := mask; !it.Empty(); it = it.DropLowest() {
+			l := it.Lowest()
 			w.regs[l][in.Dst] = aluImm(in.Op, w.regs[l][in.SrcA], in.Imm)
-		})
+		}
 		w.setActivePCs(pc + 1)
 
 	case isa.FFMA:
-		mask.ForEach(func(l int) {
+		for it := mask; !it.Empty(); it = it.DropLowest() {
+			l := it.Lowest()
 			a := math.Float32frombits(w.regs[l][in.SrcA])
 			x := math.Float32frombits(w.regs[l][in.SrcB])
 			c := math.Float32frombits(w.regs[l][in.SrcC])
 			w.regs[l][in.Dst] = math.Float32bits(a*x + c)
-		})
+		}
 		w.setActivePCs(pc + 1)
 
 	case isa.MUFU:
-		mask.ForEach(func(l int) {
+		for it := mask; !it.Empty(); it = it.DropLowest() {
+			l := it.Lowest()
 			x := math.Float32frombits(w.regs[l][in.SrcA])
 			w.regs[l][in.Dst] = math.Float32bits(float32(1 / math.Sqrt(math.Abs(float64(x))+1)))
-		})
+		}
 		w.setActivePCs(pc + 1)
 
 	case isa.ISETP:
-		mask.ForEach(func(l int) {
+		for it := mask; !it.Empty(); it = it.DropLowest() {
+			l := it.Lowest()
 			w.preds[l][in.Dst] = in.Cmp.Eval(int32(w.regs[l][in.SrcA]), int32(w.regs[l][in.SrcB]))
-		})
+		}
 		w.setActivePCs(pc + 1)
 
 	case isa.ISETPI:
-		mask.ForEach(func(l int) {
+		for it := mask; !it.Empty(); it = it.DropLowest() {
+			l := it.Lowest()
 			w.preds[l][in.Dst] = in.Cmp.Eval(int32(w.regs[l][in.SrcA]), in.Imm)
-		})
+		}
 		w.setActivePCs(pc + 1)
 
 	case isa.LDG, isa.TLD, isa.TEX:
 		b.executeLoad(w, in, now)
 
 	case isa.STG:
-		mask.ForEach(func(l int) {
+		for it := mask; !it.Empty(); it = it.DropLowest() {
+			l := it.Lowest()
 			addr := uint64(w.regs[l][in.SrcA]) + uint64(uint32(in.Imm))
 			b.sm.mem.Store(addr, w.regs[l][in.SrcB])
-		})
+		}
 		w.setActivePCs(pc + 1)
 
 	case isa.TRACE:
@@ -190,14 +203,24 @@ func (b *Block) executeLoad(w *Warp, in isa.Instr, now int64) {
 	}
 
 	lineBytes := uint64(b.cfg.CacheLineBytes)
-	lineReady := make(map[uint64]int64, 4)
-	mask.ForEach(func(l int) {
+	// Dedup coalesced lines through the block-owned scratch slice: a warp
+	// touches at most 32 lines per load, so a linear scan beats a map and
+	// reuses the same backing array every instruction.
+	lines := b.scratchLines[:0]
+	for it := mask; !it.Empty(); it = it.DropLowest() {
+		l := it.Lowest()
 		addr := uint64(w.regs[l][in.SrcA]) + uint64(uint32(in.Imm))
 		if in.Op == isa.TEX {
 			addr += uint64(w.regs[l][in.SrcB])
 		}
 		line := addr / lineBytes * lineBytes
-		ready, seen := lineReady[line]
+		ready, seen := int64(0), false
+		for _, lf := range lines {
+			if lf.line == line {
+				ready, seen = lf.ready, true
+				break
+			}
+		}
 		if !seen {
 			b.counters.L1DAccesses++
 			b.counters.LinesFetched++
@@ -211,16 +234,25 @@ func (b *Block) executeLoad(w *Warp, in isa.Instr, now int64) {
 				r = minReady
 			}
 			ready = r
-			lineReady[line] = r
+			lines = append(lines, lineFill{line: line, ready: r})
 		}
-		heap.Push(&b.events, wbEvent{
+		b.events.push(wbEvent{
 			at: ready + extra, warp: w, lane: l,
 			reg: in.Dst, sbid: in.WrScbd, kind: kind, addr: addr,
 		})
-	})
+	}
+	b.scratchLines = lines
 
 	w.setActivePCs(w.activePC + 1)
 	b.afterLongOp(w, now)
+}
+
+// lineFill records one coalesced cache line's ready time within a
+// single load instruction (scratch-slice replacement for a per-call
+// map in executeLoad).
+type lineFill struct {
+	line  uint64
+	ready int64
 }
 
 // executeTrace offloads a TraceRay per thread to the RT core; each
@@ -235,7 +267,8 @@ func (b *Block) executeTrace(w *Warp, in isa.Instr, now int64) {
 		b.emit(now, w, w.activePC, mask, trace.KindScbdSet, int(in.WrScbd))
 	}
 	maxLat := int64(0)
-	mask.ForEach(func(l int) {
+	for it := mask; !it.Empty(); it = it.DropLowest() {
+		l := it.Lowest()
 		rayID := w.regs[l][in.SrcA]
 		hit, lat := b.sm.rt.Trace(rayID)
 		b.counters.RTTraces++
@@ -247,11 +280,11 @@ func (b *Block) executeTrace(w *Warp, in isa.Instr, now int64) {
 		if hit.Ok {
 			val = uint32(hit.Material + 1)
 		}
-		heap.Push(&b.events, wbEvent{
+		b.events.push(wbEvent{
 			at: now + lat, warp: w, lane: l,
 			reg: in.Dst, sbid: in.WrScbd, kind: wbTrace, val: val,
 		})
-	})
+	}
 	if b.rec != nil {
 		b.emit(now, w, w.activePC, mask, trace.KindRTStart, int(maxLat))
 	}
@@ -297,7 +330,8 @@ type subgroup struct {
 func (b *Block) executeBranch(w *Warp, in isa.Instr, now int64) {
 	mask := w.active
 	var taken bits.Mask
-	mask.ForEach(func(l int) {
+	for it := mask; !it.Empty(); it = it.DropLowest() {
+		l := it.Lowest()
 		p := true
 		if in.Pred != isa.PT {
 			p = w.preds[l][in.Pred]
@@ -308,7 +342,7 @@ func (b *Block) executeBranch(w *Warp, in isa.Instr, now int64) {
 		if p {
 			taken = taken.Set(l)
 		}
-	})
+	}
 	notTaken := mask.Minus(taken)
 
 	switch {
@@ -317,37 +351,59 @@ func (b *Block) executeBranch(w *Warp, in isa.Instr, now int64) {
 	case taken.Empty():
 		w.setActivePCs(w.activePC + 1)
 	default:
-		groups := []subgroup{
-			{mask: taken, pc: in.Target},
-			{mask: notTaken, pc: w.activePC + 1},
-		}
-		b.splinter(w, groups, true, now)
+		b.scratchGroups = append(b.scratchGroups[:0],
+			subgroup{mask: taken, pc: in.Target},
+			subgroup{mask: notTaken, pc: w.activePC + 1},
+		)
+		b.splinter(w, b.scratchGroups, true, now)
 	}
 }
 
 // executeBrx implements the indirect branch that dispatches shader
 // subroutines: active threads group by their per-thread target PC.
 func (b *Block) executeBrx(w *Warp, in isa.Instr, now int64) {
-	targets := make(map[int]bits.Mask, 2)
-	w.active.ForEach(func(l int) {
+	// Group lanes by target in ascending lane order via a linear scan
+	// over the groups found so far (a warp produces at most 32 groups,
+	// where a map would allocate per call), then insertion-sort by
+	// target PC. Targets are distinct across groups, so the ascending-PC
+	// order handed to splinter is exactly what the previous map+sort
+	// implementation produced — group order feeds electWinner
+	// (largest-first tie-breaks, random draws, fallthrough's last-group
+	// pick), so it must not change.
+	groups := b.scratchGroups[:0]
+	for it := w.active; !it.Empty(); it = it.DropLowest() {
+		l := it.Lowest()
 		t := int(w.regs[l][in.SrcA])
 		if t < 0 || t >= b.sm.prog.Len() {
 			panic(fmt.Sprintf("sm: BRX target %d out of range in %q (warp %d lane %d)",
 				t, b.sm.prog.Name, w.ID, l))
 		}
-		targets[t] = targets[t].Set(l)
-	})
-	if len(targets) == 1 {
-		for t := range targets {
-			w.setActivePCs(t)
+		found := false
+		for gi := range groups {
+			if groups[gi].pc == t {
+				groups[gi].mask = groups[gi].mask.Set(l)
+				found = true
+				break
+			}
 		}
+		if !found {
+			groups = append(groups, subgroup{mask: bits.LaneMask(l), pc: t})
+		}
+	}
+	b.scratchGroups = groups
+	if len(groups) == 1 {
+		w.setActivePCs(groups[0].pc)
 		return
 	}
-	groups := make([]subgroup, 0, len(targets))
-	for t, m := range targets {
-		groups = append(groups, subgroup{mask: m, pc: t})
+	for i := 1; i < len(groups); i++ {
+		g := groups[i]
+		j := i - 1
+		for j >= 0 && groups[j].pc > g.pc {
+			groups[j+1] = groups[j]
+			j--
+		}
+		groups[j+1] = g
 	}
-	sort.Slice(groups, func(i, j int) bool { return groups[i].pc < groups[j].pc })
 	b.splinter(w, groups, false, now)
 }
 
@@ -357,14 +413,18 @@ func (b *Block) executeBrx(w *Warp, in isa.Instr, now int64) {
 func (b *Block) splinter(w *Warp, groups []subgroup, isBRA bool, now int64) {
 	b.counters.DivergentBranches++
 	for _, g := range groups {
-		g.mask.ForEach(func(l int) { w.pcs[l] = g.pc })
+		for it := g.mask; !it.Empty(); it = it.DropLowest() {
+			w.pcs[it.Lowest()] = g.pc
+		}
 	}
 	win := b.electWinner(groups, isBRA)
 	for i, g := range groups {
 		if i == win {
 			continue
 		}
-		g.mask.ForEach(func(l int) { w.tab.SetState(l, tst.Ready) })
+		for it := g.mask; !it.Empty(); it = it.DropLowest() {
+			w.tab.SetState(it.Lowest(), tst.Ready)
+		}
 		if b.rec != nil {
 			b.emit(now, w, g.pc, g.mask, trace.KindDivergeReady, len(groups))
 		}
@@ -441,7 +501,8 @@ func (b *Block) executeBsync(w *Warp, in isa.Instr, now int64) {
 	}
 
 	success := true
-	parts.Minus(arrived).ForEach(func(l int) {
+	for it := parts.Minus(arrived); !it.Empty(); it = it.DropLowest() {
+		l := it.Lowest()
 		switch w.tab.State(l) {
 		case tst.Inactive:
 		case tst.Blocked:
@@ -451,13 +512,15 @@ func (b *Block) executeBsync(w *Warp, in isa.Instr, now int64) {
 		default:
 			success = false
 		}
-	})
+	}
 
 	if success {
 		blocked := parts.Intersect(w.tab.Mask(tst.Blocked))
 		w.tab.Release(blocked)
 		joined := arrived.Union(blocked)
-		joined.ForEach(func(l int) { w.pcs[l] = w.activePC + 1 })
+		for it := joined; !it.Empty(); it = it.DropLowest() {
+			w.pcs[it.Lowest()] = w.activePC + 1
+		}
 		w.activate(joined, w.activePC+1)
 		w.barriers[bar] = 0
 		b.counters.Reconvergences++
@@ -490,7 +553,8 @@ func (b *Block) releaseAfterExit(w *Warp, now int64) {
 		}
 		satisfied := true
 		pc := -1
-		parts.ForEach(func(l int) {
+		for it := parts; !it.Empty(); it = it.DropLowest() {
+			l := it.Lowest()
 			switch w.tab.State(l) {
 			case tst.Inactive:
 			case tst.Blocked:
@@ -502,12 +566,14 @@ func (b *Block) releaseAfterExit(w *Warp, now int64) {
 			default:
 				satisfied = false
 			}
-		})
+		}
 		if !satisfied || pc < 0 {
 			continue
 		}
 		w.tab.Release(waiting)
-		waiting.ForEach(func(l int) { w.pcs[l] = pc + 1 })
+		for it := waiting; !it.Empty(); it = it.DropLowest() {
+			w.pcs[it.Lowest()] = pc + 1
+		}
 		w.activate(waiting, pc+1)
 		w.barriers[bar] = 0
 		b.counters.Reconvergences++

@@ -49,6 +49,10 @@ type Warp struct {
 	// Yield bookkeeping: long-latency ops issued since activation.
 	longOpsSinceActivation int
 
+	// slot is the warp's index in its block's warps slice, so writeback
+	// events can mark the owning slot dirty without a search.
+	slot int
+
 	exited bool
 }
 
@@ -123,7 +127,9 @@ func (w *Warp) dropActive() {
 
 // setActivePCs advances every active thread's per-thread PC to pc.
 func (w *Warp) setActivePCs(pc int) {
-	w.active.ForEach(func(lane int) { w.pcs[lane] = pc })
+	for it := w.active; !it.Empty(); it = it.DropLowest() {
+		w.pcs[it.Lowest()] = pc
+	}
 	w.activePC = pc
 }
 

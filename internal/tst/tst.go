@@ -16,7 +16,6 @@ package tst
 
 import (
 	"fmt"
-	"sort"
 
 	"subwarpsim/internal/bits"
 )
@@ -38,6 +37,8 @@ const (
 	// Stalled: demoted after a load-to-use stall; waiting for its
 	// recorded scoreboard to count down (SI-only state).
 	Stalled
+
+	numStates = int(Stalled) + 1
 )
 
 func (s State) String() string {
@@ -68,6 +69,12 @@ type Table struct {
 	scbdID  [bits.WarpSize]int8
 	scbdCnt [bits.WarpSize]uint8
 
+	// masks caches, per state, the set of lanes currently in that
+	// state. Every state write goes through setState to keep the cache
+	// consistent, making Mask and Live O(1) on the scheduler's
+	// per-cycle path instead of 32-iteration scans.
+	masks [numStates]bits.Mask
+
 	lastSelectedPC int // round-robin pointer for selection
 }
 
@@ -84,6 +91,7 @@ func New(pcs *[bits.WarpSize]int, maxSubwarps int) *Table {
 	for i := range t.scbdID {
 		t.scbdID[i] = -1
 	}
+	t.masks[Inactive] = bits.FullMask
 	return t
 }
 
@@ -100,29 +108,27 @@ func (t *Table) SetState(lane int, s State) {
 		t.scbdID[lane] = -1
 		t.scbdCnt[lane] = 0
 	}
+	t.setState(lane, s)
+}
+
+// setState moves one lane between states, keeping the cached per-state
+// masks consistent. All state writes must go through here.
+func (t *Table) setState(lane int, s State) {
+	old := t.state[lane]
+	if old == s {
+		return
+	}
+	t.masks[old] = t.masks[old].Clear(lane)
+	t.masks[s] = t.masks[s].Set(lane)
 	t.state[lane] = s
 }
 
 // Mask returns the lanes currently in state s.
-func (t *Table) Mask(s State) bits.Mask {
-	var m bits.Mask
-	for lane := 0; lane < bits.WarpSize; lane++ {
-		if t.state[lane] == s {
-			m = m.Set(lane)
-		}
-	}
-	return m
-}
+func (t *Table) Mask(s State) bits.Mask { return t.masks[s] }
 
 // Live returns the lanes not Inactive.
 func (t *Table) Live() bits.Mask {
-	var m bits.Mask
-	for lane := 0; lane < bits.WarpSize; lane++ {
-		if t.state[lane] != Inactive {
-			m = m.Set(lane)
-		}
-	}
-	return m
+	return bits.FullMask.Minus(t.masks[Inactive])
 }
 
 // LiveSubwarps returns the number of distinct PCs among live lanes:
@@ -132,17 +138,26 @@ func (t *Table) LiveSubwarps() int {
 }
 
 func (t *Table) distinctPCs(m bits.Mask) int {
-	var pcs []int
-	m.ForEach(func(lane int) {
-		pc := t.pcs[lane]
-		for _, p := range pcs {
+	// A fixed-size stack array instead of an appended slice: this runs
+	// inside the scheduler's per-cycle idle classification, which must
+	// stay allocation-free.
+	var seen [bits.WarpSize]int
+	n := 0
+	for it := m; !it.Empty(); it = it.DropLowest() {
+		pc := t.pcs[it.Lowest()]
+		dup := false
+		for _, p := range seen[:n] {
 			if p == pc {
-				return
+				dup = true
+				break
 			}
 		}
-		pcs = append(pcs, pc)
-	})
-	return len(pcs)
+		if !dup {
+			seen[n] = pc
+			n++
+		}
+	}
+	return n
 }
 
 // StalledSubwarps returns how many distinct PC groups occupy TST
@@ -172,22 +187,23 @@ func (t *Table) Stall(mask bits.Mask, sbid int, laneCount func(lane int) int) bo
 	if t.StalledSubwarps() >= t.maxSubwarps-1 {
 		return false
 	}
-	mask.ForEach(func(lane int) {
+	for it := mask; !it.Empty(); it = it.DropLowest() {
+		lane := it.Lowest()
 		if t.state[lane] != Active {
 			panic(fmt.Sprintf("tst: subwarp-stall of lane %d in state %v", lane, t.state[lane]))
 		}
 		cnt := laneCount(lane)
 		if cnt <= 0 {
-			t.state[lane] = Ready
-			return
+			t.setState(lane, Ready)
+			continue
 		}
 		if cnt > 255 {
 			cnt = 255
 		}
-		t.state[lane] = Stalled
+		t.setState(lane, Stalled)
 		t.scbdID[lane] = int8(sbid)
 		t.scbdCnt[lane] = uint8(cnt)
-	})
+	}
 	return true
 }
 
@@ -215,12 +231,13 @@ func (t *Table) Writeback(lane, sbid int) bool {
 // selection rotor advances to the yielded subwarp's current PC so the
 // next Select prefers a different READY subwarp.
 func (t *Table) Yield(mask bits.Mask) {
-	mask.ForEach(func(lane int) {
+	for it := mask; !it.Empty(); it = it.DropLowest() {
+		lane := it.Lowest()
 		if t.state[lane] != Active {
 			panic(fmt.Sprintf("tst: subwarp-yield of lane %d in state %v", lane, t.state[lane]))
 		}
-		t.state[lane] = Ready
-	})
+		t.setState(lane, Ready)
+	}
 	if lane := mask.Lowest(); lane >= 0 {
 		t.lastSelectedPC = t.pcs[lane]
 	}
@@ -235,15 +252,31 @@ type ReadySubwarp struct {
 // ReadySubwarps returns the Ready lanes grouped by PC in ascending PC
 // order.
 func (t *Table) ReadySubwarps() []ReadySubwarp {
-	groups := make(map[int]bits.Mask)
-	t.Mask(Ready).ForEach(func(lane int) {
-		groups[t.pcs[lane]] = groups[t.pcs[lane]].Set(lane)
-	})
-	out := make([]ReadySubwarp, 0, len(groups))
-	for pc, m := range groups {
-		out = append(out, ReadySubwarp{PC: pc, Mask: m})
+	out := make([]ReadySubwarp, 0, 4)
+	for it := t.masks[Ready]; !it.Empty(); it = it.DropLowest() {
+		lane := it.Lowest()
+		pc := t.pcs[lane]
+		found := false
+		for i := range out {
+			if out[i].PC == pc {
+				out[i].Mask = out[i].Mask.Set(lane)
+				found = true
+				break
+			}
+		}
+		if !found {
+			out = append(out, ReadySubwarp{PC: pc, Mask: bits.LaneMask(lane)})
+		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].PC < out[j].PC })
+	for i := 1; i < len(out); i++ {
+		g := out[i]
+		j := i - 1
+		for j >= 0 && out[j].PC > g.PC {
+			out[j+1] = out[j]
+			j--
+		}
+		out[j+1] = g
+	}
 	return out
 }
 
@@ -251,21 +284,40 @@ func (t *Table) ReadySubwarps() []ReadySubwarp {
 // round-robin PC order after the previously selected PC, transitions
 // its lanes to Active, and returns it. ok is false when no lane is
 // Ready.
+//
+// The pick — the smallest Ready PC strictly greater than the rotor,
+// falling back to the smallest Ready PC — is computed directly from
+// the lane masks; building the sorted ReadySubwarps slice here would
+// put an allocation on the subwarp-switch path.
 func (t *Table) Select() (ReadySubwarp, bool) {
-	subs := t.ReadySubwarps()
-	if len(subs) == 0 {
+	ready := t.masks[Ready]
+	if ready.Empty() {
 		return ReadySubwarp{}, false
 	}
-	pick := subs[0]
-	for _, s := range subs {
-		if s.PC > t.lastSelectedPC {
-			pick = s
-			break
+	minPC, nextPC := -1, -1
+	for it := ready; !it.Empty(); it = it.DropLowest() {
+		pc := t.pcs[it.Lowest()]
+		if minPC < 0 || pc < minPC {
+			minPC = pc
+		}
+		if pc > t.lastSelectedPC && (nextPC < 0 || pc < nextPC) {
+			nextPC = pc
 		}
 	}
-	pick.Mask.ForEach(func(lane int) { t.SetState(lane, Active) })
-	t.lastSelectedPC = pick.PC
-	return pick, true
+	pickPC := minPC
+	if nextPC >= 0 {
+		pickPC = nextPC
+	}
+	var m bits.Mask
+	for it := ready; !it.Empty(); it = it.DropLowest() {
+		lane := it.Lowest()
+		if t.pcs[lane] == pickPC {
+			m = m.Set(lane)
+			t.SetState(lane, Active)
+		}
+	}
+	t.lastSelectedPC = pickPC
+	return ReadySubwarp{PC: pickPC, Mask: m}, true
 }
 
 // NoteActivated records which subwarp (by PC) currently executes, so
@@ -276,30 +328,36 @@ func (t *Table) NoteActivated(pc int) { t.lastSelectedPC = pc }
 
 // ActivateAll is program entry: every lane in mask becomes Active.
 func (t *Table) ActivateAll(mask bits.Mask) {
-	mask.ForEach(func(lane int) { t.state[lane] = Active })
+	for it := mask; !it.Empty(); it = it.DropLowest() {
+		t.setState(it.Lowest(), Active)
+	}
 }
 
 // Exit transitions lanes to Inactive (thread exit).
 func (t *Table) Exit(mask bits.Mask) {
-	mask.ForEach(func(lane int) { t.SetState(lane, Inactive) })
+	for it := mask; !it.Empty(); it = it.DropLowest() {
+		t.SetState(it.Lowest(), Inactive)
+	}
 }
 
 // Block transitions lanes from Active to Blocked (unsuccessful BSYNC).
 func (t *Table) Block(mask bits.Mask) {
-	mask.ForEach(func(lane int) {
+	for it := mask; !it.Empty(); it = it.DropLowest() {
+		lane := it.Lowest()
 		if t.state[lane] != Active {
 			panic(fmt.Sprintf("tst: block of lane %d in state %v", lane, t.state[lane]))
 		}
-		t.state[lane] = Blocked
-	})
+		t.setState(lane, Blocked)
+	}
 }
 
 // Release transitions Blocked lanes to Active (barrier release).
 func (t *Table) Release(mask bits.Mask) {
-	mask.ForEach(func(lane int) {
+	for it := mask; !it.Empty(); it = it.DropLowest() {
+		lane := it.Lowest()
 		if t.state[lane] != Blocked {
 			panic(fmt.Sprintf("tst: release of lane %d in state %v", lane, t.state[lane]))
 		}
-		t.state[lane] = Active
-	})
+		t.setState(lane, Active)
+	}
 }

@@ -1,0 +1,36 @@
+#!/bin/sh
+# bench.sh — reproducible performance run feeding BENCH_sim.json.
+#
+#   tools/bench.sh [label]          # default label: after
+#
+# Runs the fixed hot-loop benchmark set (whole-device throughput plus
+# the internal/sm microbenchmarks) with -benchmem and merges the parsed
+# results into BENCH_sim.json under the given label via
+# tools/benchjson. The simulator itself is seedless-deterministic:
+# every block derives its election RNG from sm*1000+block+1, so the
+# stamp records that scheme rather than a user-settable seed.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+label="${1:-after}"
+benchtime="${BENCHTIME:-1s}"
+count="${BENCHCOUNT:-1}"
+
+# The tracked set: whole-device throughput (the 1.4x acceptance
+# number), the simulated-cycle rate, and the zero-alloc hot-loop
+# microbenchmarks. Figure-regeneration benchmarks stay out — they are
+# experiment drivers, not perf regressions trackers.
+pat='BenchmarkGPURunSequential|BenchmarkSimulationRate'
+smpat='BenchmarkBlockStep|BenchmarkExecuteLoad'
+
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+echo "== bench: root suite ($pat) ==" >&2
+go test -run '^$' -bench "$pat" -benchmem -benchtime "$benchtime" -count "$count" . | tee -a "$tmp"
+echo "== bench: internal/sm ($smpat) ==" >&2
+go test -run '^$' -bench "$smpat" -benchmem -benchtime "$benchtime" -count "$count" ./internal/sm | tee -a "$tmp"
+
+go run ./tools/benchjson -label "$label" -out BENCH_sim.json \
+    -seed "deterministic: block rng = sm*1000+block+1" < "$tmp"

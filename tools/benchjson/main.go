@@ -1,0 +1,194 @@
+// Command benchjson converts `go test -bench` text output into the
+// machine-readable BENCH_sim.json the repo tracks performance with.
+//
+//	go test -run '^$' -bench . -benchmem . | \
+//	    go run ./tools/benchjson -label after -out BENCH_sim.json
+//
+// Each invocation parses one benchmark run from stdin and merges it
+// into -out under its -label, so "before" and "after" runs accumulate
+// in the same file and re-running a label replaces that entry only.
+// Standard ns/op, B/op, and allocs/op values get dedicated fields;
+// every custom -ReportMetric unit (e.g. sim-cycles/op) lands in the
+// entry's metrics map, and when a benchmark reports sim-cycles/op the
+// derived sim_cycles_per_wall_second is computed from it and ns/op.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Entry is one benchmark result line.
+type Entry struct {
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// Zero is meaningful for both (-benchmem proves alloc-free paths),
+	// so neither is omitempty.
+	BytesPerOp float64 `json:"bytes_per_op"`
+	AllocsPer  float64 `json:"allocs_per_op"`
+	// Metrics holds custom testing.B.ReportMetric units verbatim.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+	// SimCyclesPerWallSecond is derived from sim-cycles/op and ns/op
+	// when the benchmark reports simulated cycles.
+	SimCyclesPerWallSecond float64 `json:"sim_cycles_per_wall_second,omitempty"`
+}
+
+// Run is one labelled benchmark run (e.g. "before" or "after").
+type Run struct {
+	Label     string  `json:"label"`
+	Timestamp string  `json:"timestamp"`
+	Commit    string  `json:"commit,omitempty"`
+	Seed      string  `json:"seed,omitempty"`
+	GoVersion string  `json:"go_version"`
+	GOOS      string  `json:"goos"`
+	GOARCH    string  `json:"goarch"`
+	CPU       string  `json:"cpu,omitempty"`
+	Entries   []Entry `json:"entries"`
+}
+
+// File is the whole BENCH_sim.json document.
+type File struct {
+	Schema string         `json:"schema"`
+	Runs   map[string]Run `json:"runs"`
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}
+
+// parseBench reads `go test -bench` output: result lines look like
+//
+//	BenchmarkName-8   	  5	122900000 ns/op	 10400000 B/op	5552 allocs/op
+//
+// i.e. name, iteration count, then value/unit pairs. The cpu: header
+// line is captured for the run's environment stamp.
+func parseBench(in *bufio.Scanner) ([]Entry, string, error) {
+	var entries []Entry
+	cpu := ""
+	for in.Scan() {
+		line := strings.TrimSpace(in.Text())
+		if rest, ok := strings.CutPrefix(line, "cpu:"); ok {
+			cpu = strings.TrimSpace(rest)
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		e := Entry{
+			// Strip the -GOMAXPROCS suffix so labels compare across machines.
+			Name:       trimProcs(fields[0]),
+			Iterations: iters,
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				e.NsPerOp = val
+			case "B/op":
+				e.BytesPerOp = val
+			case "allocs/op":
+				e.AllocsPer = val
+			default:
+				if e.Metrics == nil {
+					e.Metrics = map[string]float64{}
+				}
+				e.Metrics[unit] = val
+			}
+		}
+		if cycles, ok := e.Metrics["sim-cycles/op"]; ok && e.NsPerOp > 0 {
+			e.SimCyclesPerWallSecond = cycles / (e.NsPerOp / 1e9)
+		}
+		entries = append(entries, e)
+	}
+	return entries, cpu, in.Err()
+}
+
+// trimProcs removes go test's trailing -N GOMAXPROCS suffix.
+func trimProcs(name string) string {
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+func gitCommit() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
+func main() {
+	label := flag.String("label", "", "run label to file results under (e.g. before, after)")
+	out := flag.String("out", "BENCH_sim.json", "JSON file to merge the run into")
+	seed := flag.String("seed", "", "determinism seed stamp recorded with the run")
+	flag.Parse()
+	if *label == "" {
+		fail(fmt.Errorf("-label is required"))
+	}
+
+	entries, cpu, err := parseBench(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fail(err)
+	}
+	if len(entries) == 0 {
+		fail(fmt.Errorf("no benchmark result lines on stdin"))
+	}
+
+	doc := File{Schema: "sisim-bench/v1", Runs: map[string]Run{}}
+	if raw, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			fail(fmt.Errorf("existing %s is not valid bench JSON: %v", *out, err))
+		}
+		if doc.Runs == nil {
+			doc.Runs = map[string]Run{}
+		}
+	} else if !os.IsNotExist(err) {
+		fail(err)
+	}
+
+	doc.Runs[*label] = Run{
+		Label:     *label,
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Commit:    gitCommit(),
+		Seed:      *seed,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPU:       cpu,
+		Entries:   entries,
+	}
+
+	blob, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Printf("benchjson: wrote %d entries under %q to %s\n", len(entries), *label, *out)
+}

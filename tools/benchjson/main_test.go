@@ -1,0 +1,69 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: subwarpsim
+cpu: Intel(R) Xeon(R) CPU @ 2.10GHz
+BenchmarkGPURunSequential-1   	       9	 122900000 ns/op	10400000 B/op	    5552 allocs/op
+BenchmarkSimulationRate-1     	      57	  20000000 ns/op	     12161 sim-cycles/op	 3620 allocs/op
+BenchmarkBlockStep-1          	 8000000	       147.2 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	subwarpsim	12.3s
+`
+
+func TestParseBench(t *testing.T) {
+	entries, cpu, err := parseBench(bufio.NewScanner(strings.NewReader(sampleBench)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cpu != "Intel(R) Xeon(R) CPU @ 2.10GHz" {
+		t.Errorf("cpu = %q", cpu)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("parsed %d entries, want 3", len(entries))
+	}
+
+	seq := entries[0]
+	if seq.Name != "BenchmarkGPURunSequential" || seq.Iterations != 9 {
+		t.Errorf("entry 0 = %+v", seq)
+	}
+	if seq.NsPerOp != 122900000 || seq.BytesPerOp != 10400000 || seq.AllocsPer != 5552 {
+		t.Errorf("standard units misparsed: %+v", seq)
+	}
+
+	rate := entries[1]
+	if got := rate.Metrics["sim-cycles/op"]; got != 12161 {
+		t.Errorf("custom metric sim-cycles/op = %v, want 12161", got)
+	}
+	// 12161 cycles per 20ms op => ~608050 cycles per wall second.
+	want := 12161 / (20000000.0 / 1e9)
+	if rate.SimCyclesPerWallSecond != want {
+		t.Errorf("derived rate = %v, want %v", rate.SimCyclesPerWallSecond, want)
+	}
+
+	if step := entries[2]; step.NsPerOp != 147.2 || step.AllocsPer != 0 {
+		t.Errorf("fractional ns/op misparsed: %+v", step)
+	}
+	if step := entries[2]; step.SimCyclesPerWallSecond != 0 {
+		t.Errorf("no sim-cycles/op metric must mean no derived rate: %+v", step)
+	}
+}
+
+func TestTrimProcs(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkBlockStep-1":   "BenchmarkBlockStep",
+		"BenchmarkBlockStep-128": "BenchmarkBlockStep",
+		"BenchmarkFig3":          "BenchmarkFig3",
+		"BenchmarkSI-on-4":       "BenchmarkSI-on",
+	} {
+		if got := trimProcs(in); got != want {
+			t.Errorf("trimProcs(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

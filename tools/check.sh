@@ -69,8 +69,9 @@ fi
 echo "ok (${total}% >= ${floor}%)"
 
 echo "== benchmark smoke =="
-# One iteration of the cheapest figure regeneration proves the bench
+# One iteration of every benchmark (figure regeneration, throughput,
+# and the zero-alloc hot-loop microbenchmarks) proves the whole bench
 # harness still runs; timing is not asserted here.
-go test -run '^$' -bench BenchmarkFig3 -benchtime 1x .
+go test -run '^$' -bench . -benchmem -benchtime 1x . ./internal/sm
 
 echo "all checks passed"
