@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"subwarpsim/internal/experiments"
+	"subwarpsim/internal/obs"
 )
 
 func main() {
@@ -26,7 +27,13 @@ func main() {
 	outPath := flag.String("o", "", "also write the combined report to this file")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	timeout := flag.Duration("timeout", 0, "abort the whole run after this long (0 = no limit)")
+	version := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Printf("experiments %s\n", obs.Build())
+		return
+	}
 
 	if *list {
 		for _, e := range experiments.All() {

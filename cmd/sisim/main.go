@@ -23,6 +23,7 @@ import (
 
 	"subwarpsim"
 	"subwarpsim/internal/faults"
+	"subwarpsim/internal/obs"
 	"subwarpsim/internal/simcache"
 )
 
@@ -50,7 +51,12 @@ func main() {
 	cacheDir := flag.String("cache-dir", "", "reuse results from this content-addressed cache directory")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile taken after the simulation to this file")
+	version := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
+	if *version {
+		fmt.Printf("sisim %s\n", obs.Build())
+		return
+	}
 	if flag.NArg() > 0 {
 		fail("unexpected argument %q", flag.Arg(0))
 	}

@@ -12,6 +12,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -21,6 +22,7 @@ import (
 	"time"
 
 	"subwarpsim/internal/faults"
+	"subwarpsim/internal/obs"
 	"subwarpsim/internal/server"
 	"subwarpsim/internal/simcache"
 )
@@ -28,6 +30,27 @@ import (
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, "sisimd:", err)
 	os.Exit(1)
+}
+
+// buildLogger constructs the daemon's structured logger on stderr
+// (stdout stays reserved for the parseable startup lines).
+func buildLogger(level string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch level {
+	case "debug":
+		lv = slog.LevelDebug
+	case "info":
+		lv = slog.LevelInfo
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	case "off":
+		return obs.NopLogger(), nil
+	default:
+		return nil, fmt.Errorf("bad -log-level %q (debug, info, warn, error, off)", level)
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lv})), nil
 }
 
 func main() {
@@ -45,10 +68,24 @@ func main() {
 	breakerTrip := flag.Int("breaker-trip", 5, "consecutive disk-cache failures that trip the memory-only breaker")
 	breakerCooldown := flag.Duration("breaker-cooldown", 5*time.Second, "open-breaker cooldown before a recovery probe")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (off by default)")
+	logLevel := flag.String("log-level", "info", "structured log level: debug, info, warn, error, off")
+	eventRing := flag.Int("events", 256, "debug-event ring size (GET /debug/events)")
+	traceKeep := flag.Int("traces", 64, "completed request traces retained (GET /debug/traces)")
+	version := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
+	if *version {
+		fmt.Printf("sisimd %s\n", obs.Build())
+		return
+	}
 	if flag.NArg() > 0 {
 		fail(fmt.Errorf("unexpected argument %q", flag.Arg(0)))
 	}
+
+	logger, err := buildLogger(*logLevel)
+	if err != nil {
+		fail(err)
+	}
+	slog.SetDefault(logger)
 
 	injector, err := faults.Parse(*faultSpec)
 	if err != nil {
@@ -84,6 +121,7 @@ func main() {
 		MaxTimeout:     *maxTimeout,
 		Cache:          cache,
 		Faults:         injector,
+		Obs:            obs.New(server.MetricsNamespace, *eventRing, *traceKeep, logger),
 	})
 
 	ln, err := net.Listen("tcp", *addr)

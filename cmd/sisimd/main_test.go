@@ -14,6 +14,8 @@ import (
 	"syscall"
 	"testing"
 	"time"
+
+	"subwarpsim/internal/obs"
 )
 
 // buildDaemon compiles the sisimd binary into a test temp dir.
@@ -449,5 +451,104 @@ func TestDaemonRejectsBadFlags(t *testing.T) {
 	}
 	if !strings.Contains(string(out), "unexpected argument") {
 		t.Errorf("output %q must name the stray argument", out)
+	}
+}
+
+// TestDaemonMetricsExposition scrapes the live daemon in both formats:
+// the default JSON shape must keep its legacy keys plus the new latency
+// breakdowns, and Accept: text/plain must switch to Prometheus text
+// exposition that passes the grammar lint and carries every required
+// series.
+func TestDaemonMetricsExposition(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the daemon binary")
+	}
+	bin := buildDaemon(t)
+	base := startDaemon(t, bin, "-workers", "2")
+
+	// One job so latency and SI series carry data.
+	resp, err := http.Post(base+"/v1/jobs", "application/json",
+		strings.NewReader(`{"microbench":4,"si":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/jobs = %d", resp.StatusCode)
+	}
+
+	// Default: the backward-compatible JSON document.
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("default /metrics content-type = %q", ct)
+	}
+	var jm map[string]any
+	err = json.NewDecoder(resp.Body).Decode(&jm)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{
+		"jobs_done", "queue_depth", "sim_cycles_total", "cache",
+		"latency_p99_ms", "queue_wait_p95_ms", "exec_p95_ms",
+	} {
+		if _, ok := jm[k]; !ok {
+			t.Errorf("JSON /metrics missing %q", k)
+		}
+	}
+
+	// Prometheus: lint the exposition and require the key series.
+	req, err := http.NewRequest(http.MethodGet, base+"/metrics", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "text/plain")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("prometheus /metrics content-type = %q", ct)
+	}
+	if err := obs.Lint(bytes.NewReader(body)); err != nil {
+		t.Fatalf("prometheus exposition failed lint: %v\n%s", err, body)
+	}
+	for _, series := range []string{
+		"sisimd_queue_depth",
+		"sisimd_cache_hits_total",
+		"sisimd_cache_misses_total",
+		"sisimd_stage_latency_seconds_bucket",
+		"sisimd_si_idle_cycles_total",
+		"sisimd_si_subwarp_switches_total",
+		"sisimd_build_info",
+	} {
+		if !strings.Contains(string(body), series) {
+			t.Errorf("exposition missing required series %s", series)
+		}
+	}
+}
+
+// TestDaemonVersionFlag: -version prints build info and exits 0
+// without binding a port.
+func TestDaemonVersionFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the daemon binary")
+	}
+	bin := buildDaemon(t)
+	out, err := exec.Command(bin, "-version").CombinedOutput()
+	if err != nil {
+		t.Fatalf("-version: %v\n%s", err, out)
+	}
+	line := strings.TrimSpace(string(out))
+	if !strings.HasPrefix(line, "sisimd ") || !strings.Contains(line, "go1.") {
+		t.Errorf("-version output %q, want 'sisimd ... (go1...)'", line)
 	}
 }

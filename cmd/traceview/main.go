@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"subwarpsim"
+	"subwarpsim/internal/obs"
 )
 
 func main() {
@@ -31,7 +32,13 @@ func main() {
 	si := flag.Bool("si", false, "enable Subwarp Interleaving for -replay")
 	yield := flag.Bool("yield", false, "enable subwarp-yield for -replay")
 	width := flag.Int("width", 100, "timeline columns for -replay")
+	version := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Printf("traceview %s\n", obs.Build())
+		return
+	}
 
 	var kernel *subwarpsim.Kernel
 	var err error

@@ -28,6 +28,7 @@
 package faults
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -184,6 +185,18 @@ type Injector struct {
 	// it before use. Nil means time.Sleep.
 	SleepFn func(time.Duration)
 
+	// OnEvent, when set, is invoked (outside the injector's lock) for
+	// every fault that fires, with the trace ID of the request that hit
+	// the site ("" when the site was reached without a traced context).
+	// The observability layer uses it to feed the debug-event ring.
+	// Set before the injector is shared; must be safe for concurrent use.
+	OnEvent func(ev Event, traceID string)
+
+	// TraceIDFrom extracts a request trace ID from a context for
+	// OnEvent. It is an injection point so this package stays free of
+	// observability dependencies. Nil means no trace correlation.
+	TraceIDFrom func(ctx context.Context) string
+
 	mu     sync.Mutex
 	hits   map[string]int
 	rules  map[string][]*armed
@@ -307,9 +320,9 @@ func (in *Injector) roll(site string, idx, hit int) float64 {
 }
 
 // fire evaluates the site's rules for one hit and returns the rules
-// (restricted to the given kinds) that activate, recording events.
-// Caller holds no locks.
-func (in *Injector) fire(site string, want func(Kind) bool) []Rule {
+// (restricted to the given kinds) that activate plus the hit ordinal,
+// recording events. Caller holds no locks.
+func (in *Injector) fire(site string, want func(Kind) bool) ([]Rule, int) {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	in.hits[site]++
@@ -329,7 +342,21 @@ func (in *Injector) fire(site string, want func(Kind) bool) []Rule {
 		in.events = append(in.events, Event{Site: site, Hit: hit, Kind: a.Kind})
 		out = append(out, a.Rule)
 	}
-	return out
+	return out, hit
+}
+
+// notify invokes OnEvent for each fired rule, outside the lock.
+func (in *Injector) notify(ctx context.Context, site string, hit int, fired []Rule) {
+	if in.OnEvent == nil || len(fired) == 0 {
+		return
+	}
+	traceID := ""
+	if in.TraceIDFrom != nil && ctx != nil {
+		traceID = in.TraceIDFrom(ctx)
+	}
+	for _, r := range fired {
+		in.OnEvent(Event{Site: site, Hit: hit, Kind: r.Kind}, traceID)
+	}
 }
 
 // Fire evaluates the control-flow kinds (error, latency, panic) at a
@@ -337,13 +364,22 @@ func (in *Injector) fire(site string, want func(Kind) bool) []Rule {
 // *PanicValue; an error rule returns an error wrapping ErrInjected.
 // Nil-safe: a nil Injector returns nil.
 func (in *Injector) Fire(site string) error {
+	return in.FireCtx(context.Background(), site)
+}
+
+// FireCtx is Fire with a context carrying the request's trace identity
+// for OnEvent correlation. Injection decisions are identical to Fire's
+// (the context never affects determinism).
+func (in *Injector) FireCtx(ctx context.Context, site string) error {
 	if in == nil {
 		return nil
 	}
-	var ferr error
-	for _, r := range in.fire(site, func(k Kind) bool {
+	fired, hit := in.fire(site, func(k Kind) bool {
 		return k == KindError || k == KindLatency || k == KindPanic
-	}) {
+	})
+	in.notify(ctx, site, hit, fired)
+	var ferr error
+	for _, r := range fired {
 		switch r.Kind {
 		case KindLatency:
 			sleep := in.SleepFn
@@ -352,9 +388,6 @@ func (in *Injector) Fire(site string) error {
 			}
 			sleep(r.Delay)
 		case KindPanic:
-			in.mu.Lock()
-			hit := in.hits[site]
-			in.mu.Unlock()
 			panic(&PanicValue{Site: site, Hit: hit})
 		case KindError:
 			if ferr == nil {
@@ -371,18 +404,22 @@ func (in *Injector) Fire(site string) error {
 // input slice is never modified. Nil-safe: a nil Injector (or empty
 // data) returns data unchanged.
 func (in *Injector) Mangle(site string, data []byte) []byte {
+	return in.MangleCtx(context.Background(), site, data)
+}
+
+// MangleCtx is Mangle with a context carrying the request's trace
+// identity for OnEvent correlation.
+func (in *Injector) MangleCtx(ctx context.Context, site string, data []byte) []byte {
 	if in == nil || len(data) == 0 {
 		return data
 	}
-	fired := in.fire(site, func(k Kind) bool {
+	fired, hit := in.fire(site, func(k Kind) bool {
 		return k == KindPartial || k == KindCorrupt
 	})
+	in.notify(ctx, site, hit, fired)
 	if len(fired) == 0 {
 		return data
 	}
-	in.mu.Lock()
-	hit := in.hits[site]
-	in.mu.Unlock()
 	out := append([]byte(nil), data...)
 	for _, r := range fired {
 		pos := int(in.roll(site+"|mangle", int(r.Kind), hit) * float64(len(out)))

@@ -12,6 +12,7 @@ import (
 
 	"subwarpsim/internal/config"
 	"subwarpsim/internal/faults"
+	"subwarpsim/internal/obs"
 	"subwarpsim/internal/sm"
 	"subwarpsim/internal/stats"
 	"subwarpsim/internal/trace"
@@ -140,13 +141,18 @@ func RunContext(ctx context.Context, cfg config.Config, kernel *sm.Kernel, worke
 	// via cfg.Faults or a genuine model bug — into a *PanicError so a
 	// single bad job can never kill the process (or, on the parallel
 	// path, an unrecoverable worker goroutine).
+	// reqTrace is the request-scoped wall-clock trace, when the launch
+	// came in through a traced serving path; nil (the common CLI case)
+	// records nothing.
+	reqTrace := obs.TraceFrom(ctx)
 	runSM := func(i int, s *sm.SM) (c stats.Counters, err error) {
+		defer reqTrace.StartSpan(fmt.Sprintf("sm %d", i))()
 		defer func() {
 			if v := recover(); v != nil {
 				err = &PanicError{SM: i, Value: v, Stack: debug.Stack()}
 			}
 		}()
-		if ierr := cfg.Faults.Fire(faults.SiteSMRun); ierr != nil {
+		if ierr := cfg.Faults.FireCtx(ctx, faults.SiteSMRun); ierr != nil {
 			return c, fmt.Errorf("sm %d: %w", i, ierr)
 		}
 		return s.RunContext(ctx, maxCycles)

@@ -1,0 +1,253 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered family in the Prometheus
+// text exposition format (version 0.0.4): one HELP and TYPE line per
+// family followed by its samples, families in registration order,
+// samples in sorted label order. Histograms emit cumulative
+// `_bucket{le=...}` series (bounds scaled by the histogram's Scale),
+// `_sum`, and `_count`.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.snapshotFamilies() {
+		help := strings.ReplaceAll(f.help, "\n", " ")
+		fmt.Fprintf(bw, "# HELP %s %s\n", f.name, help)
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
+		for _, s := range f.orderedSamples() {
+			if f.kind == kindHistogram {
+				writeHistogramSample(bw, f.name, s)
+				continue
+			}
+			fmt.Fprintf(bw, "%s%s %s\n", f.name, s.labelSuffix(), formatValue(s.value()))
+		}
+	}
+	return bw.Flush()
+}
+
+func writeHistogramSample(w io.Writer, name string, s *sample) {
+	snap := s.hist.snapshot()
+	scale := s.hist.scale
+	if scale == 0 {
+		scale = 1
+	}
+	cum := int64(0)
+	snap.EachBucket(func(hi, count int64) {
+		cum += count
+		fmt.Fprintf(w, "%s_bucket%s %d\n",
+			name, s.labelSuffix("le", formatValue(float64(hi)*scale)), cum)
+	})
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, s.labelSuffix("le", "+Inf"), snap.Count())
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, s.labelSuffix(), formatValue(float64(snap.Sum())*scale))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, s.labelSuffix(), snap.Count())
+}
+
+// formatValue renders a float the way Prometheus expects: integers
+// without a decimal point, everything else in shortest form.
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+var (
+	promHelpRe   = regexp.MustCompile(`^# HELP ([a-zA-Z_:][a-zA-Z0-9_:]*) .*$`)
+	promTypeRe   = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram|summary|untyped)$`)
+	promSampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^{}]*\})? (-?[0-9.eE+-]+|\+Inf|-Inf|NaN)$`)
+	promLabelRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"$`)
+)
+
+// Lint validates Prometheus text exposition at the grammar level:
+// every line must be a HELP/TYPE comment or a well-formed sample; a
+// family's TYPE must precede its samples; sample names must belong to
+// a declared family (allowing the _bucket/_sum/_count suffixes of
+// histograms and summaries); labels must be well-formed; histogram
+// buckets must be cumulative, le-sorted, and closed by an +Inf bucket
+// matching _count. It returns nil for valid input.
+func Lint(r io.Reader) error {
+	types := map[string]string{}
+	type histState struct {
+		lastLe  float64
+		lastCum int64
+		infSeen bool
+		inf     int64
+	}
+	hists := map[string]*histState{} // family+labels -> running bucket state
+	counts := map[string]int64{}     // family+labels -> _count value
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if m := promTypeRe.FindStringSubmatch(line); m != nil {
+				if _, dup := types[m[1]]; dup {
+					return fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, m[1])
+				}
+				types[m[1]] = m[2]
+				continue
+			}
+			if promHelpRe.MatchString(line) {
+				continue
+			}
+			return fmt.Errorf("line %d: malformed comment %q", lineNo, line)
+		}
+		m := promSampleRe.FindStringSubmatch(line)
+		if m == nil {
+			return fmt.Errorf("line %d: malformed sample %q", lineNo, line)
+		}
+		name, labels, value := m[1], m[2], m[3]
+		family, suffix := familyOf(name, types)
+		if family == "" {
+			return fmt.Errorf("line %d: sample %s has no preceding TYPE", lineNo, name)
+		}
+		le, rest, err := splitLabels(labels)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		key := family + rest
+		switch suffix {
+		case "_bucket":
+			h := hists[key]
+			if h == nil {
+				h = &histState{lastLe: math.Inf(-1)}
+				hists[key] = h
+			}
+			cum, perr := strconv.ParseInt(value, 10, 64)
+			if perr != nil {
+				return fmt.Errorf("line %d: non-integer bucket count %q", lineNo, value)
+			}
+			if le == "" {
+				return fmt.Errorf("line %d: histogram bucket without le label", lineNo)
+			}
+			bound := math.Inf(1)
+			if le != "+Inf" {
+				if bound, perr = strconv.ParseFloat(le, 64); perr != nil {
+					return fmt.Errorf("line %d: bad le %q", lineNo, le)
+				}
+			}
+			if bound <= h.lastLe {
+				return fmt.Errorf("line %d: le %q not increasing for %s", lineNo, le, key)
+			}
+			if cum < h.lastCum {
+				return fmt.Errorf("line %d: bucket counts not cumulative for %s", lineNo, key)
+			}
+			h.lastLe, h.lastCum = bound, cum
+			if math.IsInf(bound, 1) {
+				h.infSeen, h.inf = true, cum
+			}
+		case "_count":
+			n, perr := strconv.ParseInt(value, 10, 64)
+			if perr != nil {
+				return fmt.Errorf("line %d: non-integer count %q", lineNo, value)
+			}
+			counts[key] = n
+		case "_sum":
+			if _, perr := strconv.ParseFloat(value, 64); perr != nil {
+				return fmt.Errorf("line %d: bad sum %q", lineNo, value)
+			}
+		default:
+			if _, perr := strconv.ParseFloat(value, 64); perr != nil && value != "+Inf" && value != "-Inf" && value != "NaN" {
+				return fmt.Errorf("line %d: bad value %q", lineNo, value)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	for key, h := range hists {
+		if !h.infSeen {
+			return fmt.Errorf("histogram %s has no +Inf bucket", key)
+		}
+		if n, ok := counts[key]; !ok || n != h.inf {
+			return fmt.Errorf("histogram %s: _count %d != +Inf bucket %d", key, counts[key], h.inf)
+		}
+	}
+	return nil
+}
+
+// familyOf resolves a sample name to its declared family, honoring the
+// histogram/summary suffixes. It returns the family name and the
+// suffix consumed ("" when the sample name is the family itself).
+func familyOf(name string, types map[string]string) (string, string) {
+	if _, ok := types[name]; ok {
+		return name, ""
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base == name {
+			continue
+		}
+		if t, ok := types[base]; ok && (t == "histogram" || t == "summary") {
+			return base, suffix
+		}
+	}
+	return "", ""
+}
+
+// splitLabels validates a label block and returns the le value (if
+// any) plus a canonical rendering of the remaining labels.
+func splitLabels(block string) (le string, rest string, err error) {
+	if block == "" {
+		return "", "{}", nil
+	}
+	inner := strings.TrimSuffix(strings.TrimPrefix(block, "{"), "}")
+	if inner == "" {
+		return "", "{}", nil
+	}
+	var others []string
+	for _, pair := range splitLabelPairs(inner) {
+		if !promLabelRe.MatchString(pair) {
+			return "", "", fmt.Errorf("malformed label pair %q", pair)
+		}
+		name, val, _ := strings.Cut(pair, "=")
+		unq, uerr := strconv.Unquote(val)
+		if uerr != nil {
+			return "", "", fmt.Errorf("bad label value %s", val)
+		}
+		if name == "le" {
+			le = unq
+			continue
+		}
+		others = append(others, pair)
+	}
+	sort.Strings(others)
+	return le, "{" + strings.Join(others, ",") + "}", nil
+}
+
+// splitLabelPairs splits `a="x",b="y"` on commas outside quotes.
+func splitLabelPairs(s string) []string {
+	var out []string
+	depth := false // inside quotes
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, s[start:])
+	return out
+}

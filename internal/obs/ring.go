@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Event kinds recorded in the debug ring. Kept as plain strings so the
+// ring stays schema-free: hooks in other packages pass their own kinds.
+const (
+	EventFault      = "fault_injected"
+	EventQuarantine = "panic_quarantine"
+	EventBreaker    = "breaker_transition"
+	EventCorrupt    = "corrupt_eviction"
+	EventDegraded   = "degraded_mode"
+)
+
+// RingEvent is one operational incident: a fault injection, a panic
+// quarantine, a breaker transition, a corrupt-entry eviction. TraceID
+// is set when the incident happened inside a traced request, so
+// /debug/events correlates with /debug/traces and log lines.
+type RingEvent struct {
+	Seq     uint64    `json:"seq"`
+	Time    time.Time `json:"time"`
+	Kind    string    `json:"kind"`
+	TraceID string    `json:"trace_id,omitempty"`
+	Site    string    `json:"site,omitempty"`
+	Detail  string    `json:"detail,omitempty"`
+}
+
+// Ring is a bounded in-memory event buffer: the newest cap events win,
+// older ones are overwritten. All methods are nil-safe.
+type Ring struct {
+	mu   sync.Mutex
+	buf  []RingEvent
+	next uint64 // total events ever added; buf[next%len] is the write slot
+}
+
+// NewRing returns a ring holding the most recent n events (minimum 1).
+func NewRing(n int) *Ring {
+	if n < 1 {
+		n = 1
+	}
+	return &Ring{buf: make([]RingEvent, n)}
+}
+
+// Add records an event, stamping Seq and Time.
+func (r *Ring) Add(kind, traceID, site, detail string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.buf[r.next%uint64(len(r.buf))] = RingEvent{
+		Seq: r.next, Time: time.Now(),
+		Kind: kind, TraceID: traceID, Site: site, Detail: detail,
+	}
+	r.next++
+	r.mu.Unlock()
+}
+
+// Events returns the buffered events, oldest first.
+func (r *Ring) Events() []RingEvent {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := uint64(len(r.buf))
+	start := uint64(0)
+	count := r.next
+	if r.next > n {
+		start = r.next - n
+		count = n
+	}
+	out := make([]RingEvent, 0, count)
+	for i := uint64(0); i < count; i++ {
+		out = append(out, r.buf[(start+i)%n])
+	}
+	return out
+}
+
+// Len returns the number of buffered events.
+func (r *Ring) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.next > uint64(len(r.buf)) {
+		return len(r.buf)
+	}
+	return int(r.next)
+}

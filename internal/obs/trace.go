@@ -1,0 +1,209 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"subwarpsim/internal/trace"
+)
+
+// Trace is one request-scoped trace: an ID plus the wall-clock spans
+// recorded along the job's path (admit, cache, queue, dedup, exec,
+// respond, per-SM simulation). A nil *Trace is valid and records
+// nothing, so un-instrumented paths pay one nil check.
+type Trace struct {
+	ID    string    `json:"trace_id"`
+	Start time.Time `json:"start"`
+
+	mu    sync.Mutex
+	spans []Span
+}
+
+// Span is one named wall-clock interval within a trace, stored as
+// microsecond offsets from the trace start so export to the
+// trace_event format (microsecond timestamps) is direct.
+type Span struct {
+	Name    string `json:"name"`
+	StartUS int64  `json:"start_us"`
+	DurUS   int64  `json:"dur_us"`
+}
+
+// NewTraceID returns a fresh 16-hex-digit trace ID.
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is catastrophic enough elsewhere; here a
+		// constant ID only degrades correlation, never correctness.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// NewTrace starts a trace. An empty id generates one; a caller-
+// provided id (the client's X-Trace-ID header) is used verbatim so
+// clients can correlate across systems.
+func NewTrace(id string) *Trace {
+	if id == "" {
+		id = NewTraceID()
+	}
+	return &Trace{ID: id, Start: time.Now()}
+}
+
+// StartSpan opens a span and returns its closer. Nil-safe.
+func (t *Trace) StartSpan(name string) func() {
+	if t == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() { t.AddSpan(name, start, time.Now()) }
+}
+
+// AddSpan records a span from explicit wall-clock endpoints (used when
+// the start and end are observed on different goroutines, e.g. queue
+// wait measured from enqueue to worker pickup). Nil-safe.
+func (t *Trace) AddSpan(name string, start, end time.Time) {
+	if t == nil {
+		return
+	}
+	s := Span{Name: name, StartUS: start.Sub(t.Start).Microseconds(), DurUS: end.Sub(start).Microseconds()}
+	if s.StartUS < 0 {
+		s.StartUS = 0
+	}
+	if s.DurUS < 0 {
+		s.DurUS = 0
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+}
+
+// Spans returns the recorded spans sorted by start offset.
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := append([]Span(nil), t.spans...)
+	t.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].StartUS < out[j].StartUS })
+	return out
+}
+
+// WritePerfetto exports the trace's spans as Chrome trace_event JSON
+// (one track per span name) by reusing the internal/trace exporter, so
+// a request timeline opens in ui.perfetto.dev exactly like a simulated
+// SM timeline does.
+func (t *Trace) WritePerfetto(w io.Writer) error {
+	spans := t.Spans()
+	slices := make([]trace.Slice, 0, len(spans))
+	for _, s := range spans {
+		slices = append(slices, trace.Slice{
+			Track:   s.Name,
+			Name:    s.Name,
+			StartUS: s.StartUS,
+			DurUS:   s.DurUS,
+			Args:    map[string]any{"trace_id": t.ID},
+		})
+	}
+	return trace.WriteChromeSlices(w, "request "+t.ID, slices)
+}
+
+// ctxKey carries a *Trace through a context.
+type ctxKey struct{}
+
+// WithTrace attaches tr to the context.
+func WithTrace(ctx context.Context, tr *Trace) context.Context {
+	if tr == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, tr)
+}
+
+// TraceFrom returns the context's trace, or nil.
+func TraceFrom(ctx context.Context) *Trace {
+	if ctx == nil {
+		return nil
+	}
+	tr, _ := ctx.Value(ctxKey{}).(*Trace)
+	return tr
+}
+
+// TraceIDFrom returns the context's trace ID, or "". Its signature
+// matches the hook fields of layers that must not import obs
+// (faults.Injector.TraceIDFrom).
+func TraceIDFrom(ctx context.Context) string {
+	if tr := TraceFrom(ctx); tr != nil {
+		return tr.ID
+	}
+	return ""
+}
+
+// TraceStore keeps the most recent completed traces by ID for the
+// /debug/traces endpoint. Bounded: inserting past the cap evicts the
+// oldest trace.
+type TraceStore struct {
+	mu    sync.Mutex
+	cap   int
+	order []string
+	byID  map[string]*Trace
+}
+
+// NewTraceStore returns a store bounded to n traces (minimum 1).
+func NewTraceStore(n int) *TraceStore {
+	if n < 1 {
+		n = 1
+	}
+	return &TraceStore{cap: n, byID: make(map[string]*Trace)}
+}
+
+// Add inserts (or refreshes) a trace. Nil-safe.
+func (s *TraceStore) Add(t *Trace) {
+	if s == nil || t == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.byID[t.ID]; !ok {
+		s.order = append(s.order, t.ID)
+	}
+	s.byID[t.ID] = t
+	for len(s.order) > s.cap {
+		delete(s.byID, s.order[0])
+		s.order = s.order[1:]
+	}
+}
+
+// Get returns the trace with the given ID, or nil.
+func (s *TraceStore) Get(id string) *Trace {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.byID[id]
+}
+
+// IDs returns the stored trace IDs, oldest first.
+func (s *TraceStore) IDs() []string {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.order...)
+}
+
+// Len returns the number of stored traces.
+func (s *TraceStore) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.order)
+}

@@ -27,6 +27,7 @@ import (
 	"subwarpsim/internal/config"
 	"subwarpsim/internal/faults"
 	"subwarpsim/internal/gpu"
+	"subwarpsim/internal/obs"
 	"subwarpsim/internal/simcache"
 	"subwarpsim/internal/sm"
 	"subwarpsim/internal/stats"
@@ -58,6 +59,11 @@ type Options struct {
 	// sites (admission, execution, batch) and is threaded into every
 	// job's config so the per-SM site fires too; nil injects nothing.
 	Faults *faults.Injector
+	// Obs is the observability plane: metric registry, request tracing,
+	// debug-event ring, structured logging. nil means a fresh Observer
+	// with a discard logger — the serving layer is always observable,
+	// logging is opt-in.
+	Obs *obs.Observer
 }
 
 func (o Options) withDefaults() Options {
@@ -79,6 +85,9 @@ func (o Options) withDefaults() Options {
 	if o.MaxBatch <= 0 {
 		o.MaxBatch = 256
 	}
+	if o.Obs == nil {
+		o.Obs = obs.New(MetricsNamespace, 256, 64, nil)
+	}
 	return o
 }
 
@@ -99,10 +108,12 @@ type flight struct {
 
 // task is one queued simulation.
 type task struct {
-	fl     *flight
-	key    simcache.Key
-	cfg    config.Config
-	kernel *sm.Kernel
+	fl       *flight
+	key      simcache.Key
+	cfg      config.Config
+	kernel   *sm.Kernel
+	workload string    // spec.WorkloadID(), for per-workload SI roll-ups
+	enqueued time.Time // queue-wait measurement start
 }
 
 // Server is the simulation service. Create with New, serve Handler(),
@@ -138,6 +149,11 @@ type Server struct {
 	latMu   sync.Mutex
 	latency stats.Histogram // microseconds per completed simulation
 
+	// obs is the observability plane (never nil after New); si holds
+	// the pre-registered SI roll-up instruments.
+	obs *obs.Observer
+	si  siMetrics
+
 	// runSim performs one simulation; tests substitute a fake to drive
 	// backpressure and cancellation deterministically.
 	runSim func(ctx context.Context, cfg config.Config, k *sm.Kernel) (gpu.Result, error)
@@ -156,11 +172,14 @@ func New(opts Options) *Server {
 		cancelBase: cancel,
 		flights:    make(map[simcache.Key]*flight),
 		quarantine: make(map[simcache.Key]string),
+		obs:        opts.Obs,
 	}
 	s.latency.Name = "job latency (us)"
 	s.runSim = func(ctx context.Context, cfg config.Config, k *sm.Kernel) (gpu.Result, error) {
 		return gpu.RunContext(ctx, cfg, k, opts.SimWorkers)
 	}
+	s.registerMetrics()
+	s.wireHooks()
 	for i := 0; i < opts.Workers; i++ {
 		s.workerWG.Add(1)
 		go s.worker()
@@ -173,8 +192,14 @@ func (s *Server) worker() {
 	for t := range s.queue {
 		s.inFlight.Add(1)
 		started := time.Now()
+		tr := obs.TraceFrom(t.fl.ctx)
+		tr.AddSpan("queue", t.enqueued, started)
+		s.obs.ObserveStage("queue", started.Sub(t.enqueued).Microseconds())
 		res, err := s.runJob(t)
-		elapsed := time.Since(started)
+		ended := time.Now()
+		elapsed := ended.Sub(started)
+		tr.AddSpan("exec", started, ended)
+		s.obs.ObserveStage("exec", elapsed.Microseconds())
 		s.inFlight.Add(-1)
 
 		var entry simcache.Entry
@@ -191,6 +216,11 @@ func (s *Server) worker() {
 			s.latMu.Lock()
 			s.latency.Observe(elapsed.Microseconds())
 			s.latMu.Unlock()
+			s.siRollup(t.workload, res.Counters)
+			s.obs.Logger().Info("simulation complete",
+				"trace_id", obs.TraceIDFrom(t.fl.ctx), "key", t.key.String(),
+				"workload", t.workload, "cycles", res.Counters.Cycles,
+				"elapsed_ms", float64(elapsed.Microseconds())/1e3)
 		} else {
 			s.jobsFailed.Add(1)
 			if msg, panicked := panicMessage(err); panicked {
@@ -202,7 +232,12 @@ func (s *Server) worker() {
 				s.mu.Lock()
 				s.quarantine[t.key] = msg
 				s.mu.Unlock()
+				s.obs.Event(t.fl.ctx, obs.EventQuarantine, faults.SiteServerExec,
+					"key "+t.key.String()+": "+msg)
 			}
+			s.obs.Logger().Warn("simulation failed",
+				"trace_id", obs.TraceIDFrom(t.fl.ctx), "key", t.key.String(),
+				"workload", t.workload, "error", err)
 		}
 		s.complete(t.key, t.fl, entry, err)
 		s.taskWG.Done()
@@ -220,7 +255,7 @@ func (s *Server) runJob(t task) (res gpu.Result, err error) {
 			err = &panicError{value: v, stack: debug.Stack()}
 		}
 	}()
-	if ierr := s.opts.Faults.Fire(faults.SiteServerExec); ierr != nil {
+	if ierr := s.opts.Faults.FireCtx(t.fl.ctx, faults.SiteServerExec); ierr != nil {
 		return gpu.Result{}, fmt.Errorf("exec fault: %w", ierr)
 	}
 	return s.runSim(t.fl.ctx, t.cfg, t.kernel)
@@ -324,6 +359,9 @@ type JobResult struct {
 	Derived  stats.Derived  `json:"derived"`
 	// Error is set instead of the result fields for failed batch items.
 	Error string `json:"error,omitempty"`
+	// TraceID echoes the request's trace (the X-Trace-ID header) so
+	// clients can correlate results with /debug/events and logs.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 func resultFrom(key simcache.Key, spec JobSpec, e simcache.Entry, cached, coalesced bool) JobResult {
@@ -344,10 +382,12 @@ func resultFrom(key simcache.Key, spec JobSpec, e simcache.Entry, cached, coales
 // (request) context — its cancellation abandons the wait, and the
 // underlying simulation stops once every interested caller is gone.
 func (s *Server) Submit(ctx context.Context, spec JobSpec) (JobResult, error) {
+	tr := obs.TraceFrom(ctx)
+	admitStart := time.Now()
 	if s.draining.Load() {
 		return JobResult{}, &apiError{status: http.StatusServiceUnavailable, msg: "server is draining"}
 	}
-	if err := s.opts.Faults.Fire(faults.SiteServerAdmit); err != nil {
+	if err := s.opts.Faults.FireCtx(ctx, faults.SiteServerAdmit); err != nil {
 		return JobResult{}, &apiError{status: http.StatusServiceUnavailable,
 			msg: "admission fault: " + err.Error()}
 	}
@@ -377,29 +417,44 @@ func (s *Server) Submit(ctx context.Context, spec JobSpec) (JobResult, error) {
 		}
 	}
 	s.jobsTotal.Add(1)
+	admitEnd := time.Now()
+	tr.AddSpan("admit", admitStart, admitEnd)
+	s.obs.ObserveStage("admit", admitEnd.Sub(admitStart).Microseconds())
 
-	if e, ok := s.cache.Get(key); ok {
-		return resultFrom(key, spec, e, true, false), nil
+	cacheEnd := stageTimer(s, tr, "cache")
+	e, hit := s.cache.Get(key)
+	cacheEnd()
+	if hit {
+		res := resultFrom(key, spec, e, true, false)
+		res.TraceID = obs.TraceIDFrom(ctx)
+		return res, nil
 	}
 
 	// Singleflight: join an in-flight twin, or become the one that
 	// simulates. The flight's context is independent of any single
-	// request so coalesced waiters survive the first requester leaving.
+	// request so coalesced waiters survive the first requester leaving;
+	// the first submitter's trace rides along so worker-side spans and
+	// logs correlate with the request that caused the simulation.
+	dedupEnd := stageTimer(s, tr, "dedup")
 	s.mu.Lock()
 	fl, joined := s.flights[key]
 	if joined {
 		fl.waiters++
 		s.mu.Unlock()
 		s.coalesced.Add(1)
+		dedupEnd()
 	} else {
 		flCtx, cancel := context.WithTimeout(s.baseCtx, s.jobTimeout(spec))
+		flCtx = obs.WithTrace(flCtx, tr)
 		fl = &flight{ctx: flCtx, cancel: cancel, done: make(chan struct{}), waiters: 1}
 		s.flights[key] = fl
 		s.mu.Unlock()
+		dedupEnd()
 
 		s.taskWG.Add(1)
 		select {
-		case s.queue <- task{fl: fl, key: key, cfg: cfg, kernel: kernel}:
+		case s.queue <- task{fl: fl, key: key, cfg: cfg, kernel: kernel,
+			workload: spec.WorkloadID(), enqueued: time.Now()}:
 		default:
 			// Backpressure: the queue is full. Retire the flight we just
 			// registered and tell the client to retry later.
@@ -452,7 +507,9 @@ func (s *Server) Submit(ctx context.Context, spec JobSpec) (JobResult, error) {
 			return JobResult{}, &apiError{status: http.StatusInternalServerError, msg: fl.err.Error()}
 		}
 	}
-	return resultFrom(key, spec, fl.entry, false, joined), nil
+	res := resultFrom(key, spec, fl.entry, false, joined)
+	res.TraceID = obs.TraceIDFrom(ctx)
+	return res, nil
 }
 
 // retryAfterSec estimates when queue capacity should free up: the p95
@@ -528,7 +585,17 @@ type Metrics struct {
 	CacheEntries     int            `json:"cache_entries"`
 	LatencyP50MS     float64        `json:"latency_p50_ms"`
 	LatencyP95MS     float64        `json:"latency_p95_ms"`
+	LatencyP99MS     float64        `json:"latency_p99_ms"`
 	LatencyMaxMS     float64        `json:"latency_max_ms"`
+	// Queue-wait (enqueue -> worker pickup) and exec (simulation on a
+	// worker) are reported separately so saturation is distinguishable
+	// from slow jobs.
+	QueueWaitP50MS float64 `json:"queue_wait_p50_ms"`
+	QueueWaitP95MS float64 `json:"queue_wait_p95_ms"`
+	QueueWaitP99MS float64 `json:"queue_wait_p99_ms"`
+	ExecP50MS      float64 `json:"exec_p50_ms"`
+	ExecP95MS      float64 `json:"exec_p95_ms"`
+	ExecP99MS      float64 `json:"exec_p99_ms"`
 	// SimCyclesTotal is the sum of simulated cycles over completed
 	// simulations; SimCyclesPerSecond divides it by the wall time
 	// workers spent producing them (simulation throughput, 0 until a
@@ -543,8 +610,11 @@ func (s *Server) MetricsSnapshot() Metrics {
 	s.latMu.Lock()
 	p50 := s.latency.Quantile(0.50)
 	p95 := s.latency.Quantile(0.95)
+	p99 := s.latency.Quantile(0.99)
 	max := s.latency.Max()
 	s.latMu.Unlock()
+	qw := s.obs.StageHistogram("queue")
+	ex := s.obs.StageHistogram("exec")
 	s.mu.Lock()
 	quarantined := len(s.quarantine)
 	s.mu.Unlock()
@@ -575,7 +645,14 @@ func (s *Server) MetricsSnapshot() Metrics {
 		CacheEntries:     s.cache.Len(),
 		LatencyP50MS:     float64(p50) / 1e3,
 		LatencyP95MS:     float64(p95) / 1e3,
+		LatencyP99MS:     float64(p99) / 1e3,
 		LatencyMaxMS:     float64(max) / 1e3,
+		QueueWaitP50MS:   float64(qw.Quantile(0.50)) / 1e3,
+		QueueWaitP95MS:   float64(qw.Quantile(0.95)) / 1e3,
+		QueueWaitP99MS:   float64(qw.Quantile(0.99)) / 1e3,
+		ExecP50MS:        float64(ex.Quantile(0.50)) / 1e3,
+		ExecP95MS:        float64(ex.Quantile(0.95)) / 1e3,
+		ExecP99MS:        float64(ex.Quantile(0.99)) / 1e3,
 
 		SimCyclesTotal:     cycles,
 		SimCyclesPerSecond: perSec,
@@ -584,19 +661,31 @@ func (s *Server) MetricsSnapshot() Metrics {
 
 // Handler returns the service's HTTP API:
 //
-//	GET  /healthz   liveness (503 while draining)
-//	GET  /metrics   JSON metrics snapshot
-//	GET  /v1/apps   application trace catalogue
-//	POST /v1/jobs   run one JobSpec
-//	POST /v1/batch  run {"jobs": [JobSpec...]}, coalescing duplicates
+//	GET  /healthz        liveness (503 while draining) + build info
+//	GET  /metrics        metrics: Prometheus text exposition when the
+//	                     Accept header asks for text/plain, the
+//	                     backward-compatible JSON snapshot otherwise
+//	GET  /debug/events   bounded ring of operational incidents
+//	GET  /debug/traces   recent request trace IDs
+//	GET  /debug/traces/{id}  one trace as Perfetto/Chrome trace JSON
+//	GET  /v1/apps        application trace catalogue
+//	POST /v1/jobs        run one JobSpec
+//	POST /v1/batch       run {"jobs": [JobSpec...]}, coalescing duplicates
+//
+// Every request is traced: a client-provided X-Trace-ID header is
+// adopted (else one is generated), echoed on the response, propagated
+// through the job path via context, and retained in /debug/traces.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/events", s.handleDebugEvents)
+	mux.HandleFunc("GET /debug/traces", s.handleDebugTraces)
+	mux.HandleFunc("GET /debug/traces/{id}", s.handleDebugTrace)
 	mux.HandleFunc("GET /v1/apps", s.handleApps)
 	mux.HandleFunc("POST /v1/jobs", s.handleJob)
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
-	return mux
+	return s.traceMiddleware(mux)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -632,8 +721,12 @@ func (s *Server) degraded() bool {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	// Build info renders as a flat string so the payload stays a
+	// map[string]string (clients decode it that way).
+	build := obs.Build().String()
 	if s.draining.Load() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{
+			"status": "draining", "build": build})
 		return
 	}
 	if s.degraded() {
@@ -644,13 +737,22 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{
 			"status": "degraded",
 			"detail": "disk cache unavailable, serving memory-only",
+			"build":  build,
 		})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "build": build})
 }
 
+// handleMetrics content-negotiates the two exposition formats: a
+// text/plain Accept preference gets Prometheus text exposition, every
+// other request the backward-compatible JSON snapshot.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if wantsPrometheus(r.Header.Get("Accept")) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.obs.Reg.WritePrometheus(w)
+		return
+	}
 	writeJSON(w, http.StatusOK, s.MetricsSnapshot())
 }
 
@@ -664,12 +766,21 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		writeError(w, &apiError{status: http.StatusBadRequest, msg: "bad job spec: " + err.Error()})
 		return
 	}
-	res, err := s.Submit(r.Context(), spec)
+	ctx := r.Context()
+	res, err := s.Submit(ctx, spec)
 	if err != nil {
+		s.obs.Logger().Warn("job rejected",
+			"trace_id", obs.TraceIDFrom(ctx), "workload", spec.WorkloadID(),
+			"status", errStatus(err), "error", err)
 		writeError(w, err)
 		return
 	}
+	s.obs.Logger().Info("job complete",
+		"trace_id", obs.TraceIDFrom(ctx), "key", res.Key,
+		"workload", res.Workload, "cached", res.Cached, "coalesced", res.Coalesced)
+	respondEnd := stageTimer(s, obs.TraceFrom(ctx), "respond")
 	writeJSON(w, http.StatusOK, res)
+	respondEnd()
 }
 
 // batchRequest is the /v1/batch payload.
@@ -689,7 +800,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, &apiError{status: http.StatusBadRequest, msg: "bad batch: " + err.Error()})
 		return
 	}
-	if err := s.opts.Faults.Fire(faults.SiteServerBatch); err != nil {
+	if err := s.opts.Faults.FireCtx(r.Context(), faults.SiteServerBatch); err != nil {
 		writeError(w, &apiError{status: http.StatusServiceUnavailable,
 			msg: "batch fault: " + err.Error()})
 		return

@@ -8,7 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"io/fs"
-	"log"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sync"
@@ -39,8 +39,14 @@ type Disk struct {
 	Faults *faults.Injector
 
 	// Logf receives the once-per-key corrupt-eviction reports; nil
-	// means the standard library logger.
+	// means the process's default structured logger.
 	Logf func(format string, args ...any)
+
+	// OnCorrupt, when set, is invoked (outside the cache's lock) for
+	// every corrupt eviction — including repeats of an already-logged
+	// key — so the serving layer can count and ring-buffer them. Set
+	// before the cache is shared; must be safe for concurrent use.
+	OnCorrupt func(k Key, err error)
 
 	mu     sync.Mutex
 	stats  Stats
@@ -107,7 +113,8 @@ func (d *Disk) TryGet(k Key) (Entry, bool, error) {
 	return e, true, nil
 }
 
-// logCorrupt reports a corrupt eviction, once per key per process.
+// logCorrupt reports a corrupt eviction: the OnCorrupt hook fires on
+// every eviction, the log line once per key per process.
 func (d *Disk) logCorrupt(k Key, err error) {
 	d.mu.Lock()
 	if d.logged == nil {
@@ -117,11 +124,15 @@ func (d *Disk) logCorrupt(k Key, err error) {
 	d.logged[k] = struct{}{}
 	logf := d.Logf
 	d.mu.Unlock()
+	if d.OnCorrupt != nil {
+		d.OnCorrupt(k, err)
+	}
 	if seen {
 		return
 	}
 	if logf == nil {
-		logf = log.Printf
+		slog.Warn("simcache: evicted corrupt entry", "key", k.String(), "error", err)
+		return
 	}
 	logf("simcache: evicted corrupt entry %s: %v", k, err)
 }

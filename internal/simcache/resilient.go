@@ -124,6 +124,12 @@ type Resilient struct {
 	mem  Cache
 	o    ResilientOptions
 
+	// OnStateChange, when set, is invoked (outside the layer's lock)
+	// after every breaker transition, e.g. to feed an operational event
+	// ring or a metric. Set before the cache is shared; must be safe
+	// for concurrent use.
+	OnStateChange func(from, to BreakerState)
+
 	mu       sync.Mutex
 	state    BreakerState
 	fails    int       // consecutive backend-op failures while closed
@@ -146,16 +152,37 @@ func NewResilient(disk *Disk, opts ResilientOptions) *Resilient {
 	}
 }
 
+// Disk exposes the wrapped disk backend (nil for memory-only), so the
+// serving layer can attach its corrupt-eviction hook.
+func (r *Resilient) Disk() *Disk { return r.disk }
+
+// transition moves the breaker to a new state under the lock and
+// returns the notifier to run after unlocking (nil when no observer).
+func (r *Resilient) transition(to BreakerState) func() {
+	from := r.state
+	r.state = to
+	if r.OnStateChange == nil || from == to {
+		return nil
+	}
+	cb := r.OnStateChange
+	return func() { cb(from, to) }
+}
+
 // State returns the breaker's current state (after applying any due
 // open -> half-open transition).
 func (r *Resilient) State() BreakerState {
 	r.mu.Lock()
-	defer r.mu.Unlock()
+	var notify func()
 	if r.state == BreakerOpen && !r.o.Clock().Before(r.openedAt.Add(r.o.Cooldown)) {
-		r.state = BreakerHalfOpen
+		notify = r.transition(BreakerHalfOpen)
 		r.probing = false
 	}
-	return r.state
+	s := r.state
+	r.mu.Unlock()
+	if notify != nil {
+		notify()
+	}
+	return s
 }
 
 // Degraded reports that the disk backend is tripped (open or probing
@@ -186,34 +213,42 @@ func (r *Resilient) allow() bool {
 // succeeded records a successful disk operation.
 func (r *Resilient) succeeded() {
 	r.mu.Lock()
-	defer r.mu.Unlock()
+	var notify func()
 	r.fails = 0
 	if r.state == BreakerHalfOpen {
-		r.state = BreakerClosed
+		notify = r.transition(BreakerClosed)
 		r.probing = false
 		r.recoveries++
+	}
+	r.mu.Unlock()
+	if notify != nil {
+		notify()
 	}
 }
 
 // failed records a disk operation that exhausted its retries.
 func (r *Resilient) failed() {
 	r.mu.Lock()
-	defer r.mu.Unlock()
+	var notify func()
 	r.diskErrors++
 	switch r.state {
 	case BreakerHalfOpen:
 		// The probe failed: back to open, restart the cooldown.
-		r.state = BreakerOpen
+		notify = r.transition(BreakerOpen)
 		r.openedAt = r.o.Clock()
 		r.probing = false
 		r.trips++
 	case BreakerClosed:
 		r.fails++
 		if r.fails >= r.o.TripAfter {
-			r.state = BreakerOpen
+			notify = r.transition(BreakerOpen)
 			r.openedAt = r.o.Clock()
 			r.trips++
 		}
+	}
+	r.mu.Unlock()
+	if notify != nil {
+		notify()
 	}
 }
 

@@ -152,3 +152,41 @@ func BenchmarkExecuteLoad(b *testing.B) {
 		now += 4
 	}
 }
+
+// TestServingConfigZeroAlloc pins the observability plane's hot-loop
+// contract: the configuration the obs-enabled daemon hands to each job
+// (cfg.Trace == nil — spans, metrics, and logs all live above the
+// simulator) must keep the steady-state scheduler cycle allocation-free,
+// with and without SI. If an observability hook ever reaches into
+// Block.step, this trips.
+func TestServingConfigZeroAlloc(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  config.Config
+	}{
+		{"baseline", testConfig()},
+		{"si", testConfig().WithSI(true, config.TriggerHalfStalled)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.cfg.Trace != nil {
+				t.Fatal("serving configs must not attach an event recorder")
+			}
+			s := allocSM(t, tc.cfg, loadLoop(4000), 4)
+			blk := s.blocks[0]
+			now := int64(0)
+			for ; now < 4096; now++ {
+				blk.step(now)
+			}
+			avg := testing.AllocsPerRun(500, func() {
+				blk.step(now)
+				now++
+			})
+			if avg != 0 {
+				t.Fatalf("serving-config Block.step allocates %.1f times per cycle, want 0", avg)
+			}
+			if blk.done {
+				t.Fatal("kernel finished inside the measured window; enlarge the program")
+			}
+		})
+	}
+}

@@ -107,6 +107,24 @@ func (h *Histogram) Quantile(q float64) int64 {
 	return h.max
 }
 
+// EachBucket calls f for every bucket up to and including the last
+// non-empty one, in ascending order, with the bucket's inclusive upper
+// bound and its (non-cumulative) sample count. Exposition layers (the
+// obs registry's Prometheus writer) build cumulative le-buckets on
+// top of it.
+func (h *Histogram) EachBucket(f func(hi int64, count int64)) {
+	last := -1
+	for i, n := range h.buckets {
+		if n > 0 {
+			last = i
+		}
+	}
+	for i := 0; i <= last; i++ {
+		_, hi := BucketBounds(i)
+		f(hi, h.buckets[i])
+	}
+}
+
 // Merge folds o's samples into h.
 func (h *Histogram) Merge(o *Histogram) {
 	if o.count == 0 {

@@ -205,6 +205,55 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 	return enc.Encode(out)
 }
 
+// Slice is one named duration for WriteChromeSlices: a generic slice
+// on a named track, in microseconds. It lets other subsystems (the obs
+// request tracer) reuse this package's trace_event export without
+// depending on the simulator's Event stream.
+type Slice struct {
+	Track   string
+	Name    string
+	StartUS int64
+	DurUS   int64
+	Args    map[string]any
+}
+
+// WriteChromeSlices renders arbitrary slices as Chrome trace_event
+// JSON under a single process named process, with one thread track per
+// distinct Slice.Track (in first-appearance order). The output loads
+// in ui.perfetto.dev exactly like WriteChromeTrace's.
+func WriteChromeSlices(w io.Writer, process string, slices []Slice) error {
+	out := chromeTrace{DisplayTimeUnit: "ns", TraceEvents: []chromeEvent{}}
+	out.TraceEvents = append(out.TraceEvents, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: 0,
+		Args: map[string]any{"name": process},
+	})
+	tids := map[string]int{}
+	order := []string{}
+	for _, s := range slices {
+		tid, ok := tids[s.Track]
+		if !ok {
+			tid = len(order)
+			tids[s.Track] = tid
+			order = append(order, s.Track)
+		}
+		dur := s.DurUS
+		if dur < 1 {
+			dur = 1
+		}
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: s.Name, Ph: "X", Ts: s.StartUS, Dur: dur,
+			Pid: 0, Tid: tid, Cat: "request", Args: s.Args,
+		})
+	}
+	for tid, track := range order {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 0, Tid: tid,
+			Args: map[string]any{"name": track},
+		})
+	}
+	return json.NewEncoder(w).Encode(out)
+}
+
 func (r *Recorder) instant(ev Event, name string, sm int) chromeEvent {
 	return chromeEvent{Name: name, Ph: "i", Ts: ev.Cycle, Pid: sm,
 		Tid: int(ev.Warp), S: "t", Cat: "event",

@@ -41,7 +41,19 @@ echo "== service smoke =="
 # Drive the real sisimd binary end to end: start it on an ephemeral
 # port, POST a job twice, require the second response to come from the
 # content-addressed cache, then SIGTERM and require a clean drain.
-go test -count=1 -run 'TestDaemonSmoke' ./cmd/sisimd
+# The exposition test scrapes /metrics in both formats against the
+# live daemon: the JSON document must keep its legacy keys and the
+# Prometheus rendering must pass the grammar lint with every required
+# series present (queue depth, cache hits/misses, per-stage latency,
+# SI counters, build info).
+go test -count=1 -run 'TestDaemonSmoke|TestDaemonMetricsExposition|TestDaemonVersionFlag' ./cmd/sisimd
+
+echo "== observability gate =="
+# The in-process plane: exposition lints, required series pinned,
+# trace IDs propagate client header -> spans -> logs -> debug ring,
+# and the serving config keeps Block.step allocation-free.
+go test -count=1 -run 'TestMetricsContentNegotiation|TestTraceIDPropagationEndToEnd|TestDebugEvents|TestBreakerTransitionEvents' ./internal/server
+go test -count=1 -run 'TestServingConfigZeroAlloc|TestBlockStepSteadyStateZeroAlloc' ./internal/sm
 
 echo "== chaos gate =="
 # The fault-injection suites, twice each under the race detector, with
