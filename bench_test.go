@@ -114,7 +114,10 @@ func BenchmarkYieldAblation(b *testing.B) {
 }
 
 // BenchmarkSimulationRate measures raw simulator throughput: simulated
-// cycles per wall second on one application baseline.
+// cycles per wall second on one application baseline. Kernel assembly
+// and BVH construction happen with the timer stopped, so the reported
+// rate covers simulation alone (benchjson derives
+// sim_cycles_per_wall_second from the sim-cycles/op metric and ns/op).
 func BenchmarkSimulationRate(b *testing.B) {
 	app, err := Application("Ctrl")
 	if err != nil {
@@ -122,11 +125,14 @@ func BenchmarkSimulationRate(b *testing.B) {
 	}
 	app.NumWarps = 32
 	var cycles int64
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		b.StopTimer()
 		k, err := BuildMegakernel(app)
 		if err != nil {
 			b.Fatal(err)
 		}
+		b.StartTimer()
 		res, err := Run(DefaultConfig(), k)
 		if err != nil {
 			b.Fatal(err)
@@ -135,6 +141,46 @@ func BenchmarkSimulationRate(b *testing.B) {
 	}
 	b.ReportMetric(float64(cycles)/float64(b.N), "sim-cycles/op")
 }
+
+// benchEngine times one execution engine on the paper's divergence
+// microbenchmark scaled to 256 warps: a scheduler-bound workload with
+// no RT-core functional work, so what is measured is instruction
+// dispatch and scheduling — exactly what the compiled engine and
+// basic-block fast-forward accelerate. Kernel assembly happens with
+// the timer stopped; program lowering (Program.Compiled) is left
+// inside the timed region because a real run pays it too.
+func benchEngine(b *testing.B, compiled bool) {
+	p := DefaultMicrobenchmark(4)
+	p.NumWarps = 256
+	cfg := DefaultConfig()
+	cfg.Compiled = compiled
+	var cycles int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		k, err := BuildMicrobenchmark(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		res, err := Run(cfg, k)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles += res.Counters.Cycles
+	}
+	b.ReportMetric(float64(cycles)/float64(b.N), "sim-cycles/op")
+}
+
+// BenchmarkGPURunCompiled times the pre-decoded engine with basic-block
+// fast-forward (the Config.Compiled default).
+func BenchmarkGPURunCompiled(b *testing.B) { benchEngine(b, true) }
+
+// BenchmarkGPURunInterpreted times the per-cycle decoding interpreter
+// (the -compile=off escape hatch) on the same workload; both engines
+// retire identical cycle counts, so the sim-cycles/op metrics match and
+// only wall time differs.
+func BenchmarkGPURunInterpreted(b *testing.B) { benchEngine(b, false) }
 
 // benchGPURun measures one whole-device simulation at a fixed worker
 // count, on an 8-SM device so SM-level parallelism has work to spread.

@@ -27,8 +27,19 @@ func main() {
 	outPath := flag.String("o", "", "also write the combined report to this file")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	timeout := flag.Duration("timeout", 0, "abort the whole run after this long (0 = no limit)")
+	compile := flag.String("compile", "on", "execution engine: on (compiled, default) or off (per-cycle interpreter)")
 	version := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
+
+	var interpret bool
+	switch strings.ToLower(*compile) {
+	case "on":
+	case "off":
+		interpret = true
+	default:
+		fmt.Fprintf(os.Stderr, "bad -compile %q (on, off)\n", *compile)
+		os.Exit(2)
+	}
 
 	if *version {
 		fmt.Printf("experiments %s\n", obs.Build())
@@ -66,7 +77,7 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	opts := experiments.Options{Quick: *quick, Workers: w, Context: ctx}
+	opts := experiments.Options{Quick: *quick, Workers: w, Context: ctx, Interpret: interpret}
 	var combined strings.Builder
 	for _, e := range selected {
 		start := time.Now()

@@ -38,6 +38,7 @@ func main() {
 	warpSlots := flag.Int("warpslots", 8, "warp slots per processing block (2, 4, 8)")
 	maxSubwarps := flag.Int("maxsubwarps", 0, "TST entries / subwarps per warp (0 = unlimited)")
 	order := flag.String("order", "taken", "divergent path order: taken, fallthrough, largest, random")
+	compile := flag.String("compile", "on", "execution engine: on (pre-decoded stream + fast-forward) or off (per-cycle interpreter); results are bit-identical")
 	jobs := flag.Int("j", 0, "concurrent SM simulation goroutines (0 = GOMAXPROCS, 1 = sequential)")
 	listApps := flag.Bool("listapps", false, "list application traces and exit")
 	verbose := flag.Bool("v", false, "print the full counter set")
@@ -72,6 +73,14 @@ func main() {
 	cfg := subwarpsim.DefaultConfig()
 	cfg.L1MissLatency = *latency
 	cfg.WarpSlotsPerBlock = *warpSlots
+	switch strings.ToLower(*compile) {
+	case "on":
+		cfg.Compiled = true
+	case "off":
+		cfg.Compiled = false
+	default:
+		fail("unknown -compile %q (want on or off)", *compile)
+	}
 	switch strings.ToLower(*order) {
 	case "taken":
 		cfg.Order = subwarpsim.OrderTakenFirst
@@ -180,22 +189,37 @@ func main() {
 			ctx, cancel = context.WithTimeout(ctx, *timeout)
 			defer cancel()
 		}
+		stopProfile := func() {}
 		if *cpuProfile != "" {
 			f, perr := os.Create(*cpuProfile)
 			if perr != nil {
 				fail("%v", perr)
 			}
 			if perr := pprof.StartCPUProfile(f); perr != nil {
+				f.Close()
 				fail("starting CPU profile: %v", perr)
 			}
-			defer f.Close()
+			// Idempotent: called on the normal path right after the run, and
+			// by fail() if the run errors, so the profile is always flushed
+			// and the file closed — an aborted run still yields a usable
+			// profile of the cycles it simulated.
+			stopped := false
+			stopProfile = func() {
+				if stopped {
+					return
+				}
+				stopped = true
+				pprof.StopCPUProfile()
+				if cerr := f.Close(); cerr != nil {
+					fmt.Fprintf(os.Stderr, "closing %s: %v\n", *cpuProfile, cerr)
+				}
+			}
+			cleanups = append(cleanups, stopProfile)
 		}
 		start := time.Now()
 		res, err = subwarpsim.RunContext(ctx, cfg, kernel, *jobs)
 		wall = time.Since(start)
-		if *cpuProfile != "" {
-			pprof.StopCPUProfile()
-		}
+		stopProfile()
 		if *memProfile != "" {
 			if perr := writeFileWith(*memProfile, func(w io.Writer) error {
 				runtime.GC() // settle the heap so the profile shows retained state
@@ -317,7 +341,15 @@ func parseWarpList(s string) ([]int, error) {
 	return ids, nil
 }
 
+// cleanups are finalizers fail() must run before exiting — resources
+// like an open CPU-profile file that defers would leak across os.Exit.
+// Registered closures must be idempotent; they run last-first.
+var cleanups []func()
+
 func fail(format string, args ...any) {
+	for i := len(cleanups) - 1; i >= 0; i-- {
+		cleanups[i]()
+	}
 	fmt.Fprintf(os.Stderr, format+"\n", args...)
 	os.Exit(1)
 }

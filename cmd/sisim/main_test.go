@@ -58,6 +58,7 @@ func TestCLIErrorPaths(t *testing.T) {
 		"bad trace warps":     {[]string{"-microbench", "4", "-trace", "/dev/null", "-trace-warps", "x"}, "trace-warps"},
 		"stray argument":      {[]string{"-microbench", "4", "stray"}, "stray"},
 		"tiny timeout":        {[]string{"-microbench", "4", "-timeout", "1ns"}, "cancelled"},
+		"bad compile":         {[]string{"-microbench", "4", "-compile", "maybe"}, "maybe"},
 	} {
 		t.Run(name, func(t *testing.T) {
 			stdout, stderr, code := runCLI(t, bin, tc.args...)
@@ -132,6 +133,34 @@ func TestCLIBaselineStillRuns(t *testing.T) {
 	}
 }
 
+// TestCLICompileModesAgree: -compile=off must run the interpreter and
+// report exactly the cycle count of the default compiled engine.
+func TestCLICompileModesAgree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the CLI binary")
+	}
+	bin := buildCLI(t)
+	cycles := func(out string) string {
+		for _, line := range strings.Split(out, "\n") {
+			if strings.HasPrefix(line, "cycles") {
+				return line
+			}
+		}
+		return ""
+	}
+	comp, stderr, code := runCLI(t, bin, "-microbench", "4", "-si", "-compile", "on")
+	if code != 0 {
+		t.Fatalf("compiled run failed: %s", stderr)
+	}
+	interp, stderr, code := runCLI(t, bin, "-microbench", "4", "-si", "-compile", "off")
+	if code != 0 {
+		t.Fatalf("interpreted run failed: %s", stderr)
+	}
+	if c1, c2 := cycles(comp), cycles(interp); c1 == "" || c1 != c2 {
+		t.Errorf("engines report different cycles: %q vs %q", c1, c2)
+	}
+}
+
 // TestCLIProfileFlags: -cpuprofile and -memprofile must produce
 // non-empty pprof files alongside a normal run.
 func TestCLIProfileFlags(t *testing.T) {
@@ -159,5 +188,34 @@ func TestCLIProfileFlags(t *testing.T) {
 		if fi.Size() == 0 {
 			t.Errorf("profile %s is empty", path)
 		}
+	}
+}
+
+// TestCLIProfileFlushedOnError: a run that fails after profiling has
+// started (here: immediate context timeout) must still stop the CPU
+// profile and close the file — fail() exits the process, so the stop
+// runs through the cleanup registry, not a defer. Before that fix the
+// file was left zero-length because profile data is only written at
+// StopCPUProfile.
+func TestCLIProfileFlushedOnError(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the CLI binary")
+	}
+	bin := buildCLI(t)
+	cpu := filepath.Join(t.TempDir(), "cpu.prof")
+	_, stderr, code := runCLI(t, bin,
+		"-microbench", "4", "-timeout", "1ns", "-cpuprofile", cpu)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (stderr: %s)", code, stderr)
+	}
+	if !strings.Contains(stderr, "cancelled") {
+		t.Fatalf("expected a cancellation error, got: %s", stderr)
+	}
+	fi, err := os.Stat(cpu)
+	if err != nil {
+		t.Fatalf("profile missing after failed run: %v", err)
+	}
+	if fi.Size() == 0 {
+		t.Errorf("profile is empty: the failed run did not flush it")
 	}
 }

@@ -150,6 +150,17 @@ type Config struct {
 	// Scheduling.
 	Order SubwarpOrder // divergent-branch activation order
 
+	// Compiled selects the execution engine, not the architecture:
+	// when true (the default) each program is lowered once into a
+	// pre-decoded operation stream and eligible straight-line
+	// convergent regions are retired in bulk (basic-block
+	// fast-forward). Results — counters, derived metrics, memory
+	// fingerprints, trace streams — are bit-identical to the
+	// interpreter (cfg.Compiled = false), which the differential and
+	// fuzz suites enforce, so like Trace and Faults it is excluded
+	// from the result-cache canonicalization.
+	Compiled bool
+
 	// Subwarp Interleaving.
 	SI SI
 
@@ -194,6 +205,7 @@ func Default() Config {
 		RTStepLatency:      8,
 		RTBaseLatency:      150,
 		Order:              OrderTakenFirst,
+		Compiled:           true,
 		SI: SI{
 			Enabled:        false,
 			Yield:          false,

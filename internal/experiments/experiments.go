@@ -33,6 +33,12 @@ type Options struct {
 	// in-flight runs return promptly and the experiment reports the
 	// context error. Nil means context.Background().
 	Context context.Context
+	// Interpret disables the compiled execution engine (pre-decoded
+	// streams + basic-block fast-forward) and runs every simulation on
+	// the per-cycle interpreter. Results are bit-identical either way —
+	// the golden corpus is checked in both modes — so this is a
+	// verification and debugging knob, not a result knob.
+	Interpret bool
 }
 
 func (o Options) workers() int {
@@ -165,9 +171,13 @@ func runJobs(o Options, jobs []job) (map[string]gpu.Result, error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			cfg := j.cfg
+			if o.Interpret {
+				cfg.Compiled = false
+			}
 			k, err := j.mk()
 			if err == nil {
-				slots[i], err = gpu.RunContext(ctx, j.cfg, k, 0)
+				slots[i], err = gpu.RunContext(ctx, cfg, k, 0)
 			}
 			errs[i] = err
 		}(i, j)

@@ -156,11 +156,13 @@ func fuzzMemory() *mem.Memory {
 }
 
 // FuzzRun feeds generated kernels to the whole-device simulator and
-// checks the two properties no input may break: the simulator never
-// panics, and a parallel run is bit-identical to a sequential run of
-// the same kernel (counters, final memory image, and error outcome),
-// with SI off and on. Run errors themselves (e.g. the tightened cycle
-// budget) are tolerated as long as both worker counts agree.
+// checks the properties no input may break: the simulator never
+// panics; a parallel run is bit-identical to a sequential run of the
+// same kernel (counters, final memory image, and error outcome); and
+// the interpreter (Compiled=false) is bit-identical to the compiled
+// engine — all with SI off and on. Run errors themselves (e.g. the
+// tightened cycle budget) are tolerated as long as every variant
+// agrees.
 func FuzzRun(f *testing.F) {
 	old := MaxCycles
 	MaxCycles = fuzzMaxCycles
@@ -173,6 +175,22 @@ func FuzzRun(f *testing.F) {
 		31, 6, 9, 6, 3, 3, 1, 8, 2, 2, 7, 4, 4, 7, 5, 5, // nested regions, loop, stores
 	})
 	f.Add([]byte{32, 10, 0, 1, 3, 2, 2, 10, 1, 0, 5, 1}) // BRX dispatches around loads
+
+	// Seeds stressing fast-forward boundary conditions.
+	f.Add([]byte{ // long straight-line ALU run (maximal FF windows)
+		9, 0, 1, 2, 0, 1, 2, 0, 1, 2, 0, 1, 2, 0, 1, 2, 0, 1, 2, 0, 1, 2,
+	})
+	f.Add([]byte{18, 6, 1, 7, 6, 2, 7, 9})    // blocks ending in BSYNC, plus a YIELD
+	f.Add([]byte{40, 0, 3, 5, 3, 9, 0, 4, 1}) // scoreboard hazards mid-block
+	f.Add([]byte{                             // deep nesting + BRX scatter: TST pressure under the capped-SI config
+		255, 6, 6, 6, 6, 3, 10, 7, 7, 7, 7, 5,
+	})
+
+	// tinyTST caps the TST at 2 entries so generated divergence can
+	// overflow it (the overflow path leaves the subwarp waiting in
+	// place, which fast-forward must reproduce cycle-exactly).
+	tinyTST := config.Default().WithSI(true, config.TriggerAnyStalled)
+	tinyTST.SI.MaxSubwarps = 2
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) == 0 {
@@ -198,11 +216,18 @@ func FuzzRun(f *testing.F) {
 		for _, cfg := range []config.Config{
 			config.Default(),
 			config.Default().WithSI(true, config.TriggerHalfStalled),
+			tinyTST,
 		} {
 			seqRes, seqFP, seqErr := run(cfg, 1)
 			parRes, parFP, parErr := run(cfg, 4)
 			if (seqErr == nil) != (parErr == nil) {
 				t.Fatalf("error outcomes diverge: sequential %v, parallel %v", seqErr, parErr)
+			}
+			interp := cfg
+			interp.Compiled = false
+			intRes, intFP, intErr := run(interp, 1)
+			if (seqErr == nil) != (intErr == nil) {
+				t.Fatalf("error outcomes diverge: compiled %v, interpreted %v", seqErr, intErr)
 			}
 			if seqErr != nil {
 				continue
@@ -213,6 +238,14 @@ func FuzzRun(f *testing.F) {
 			}
 			if seqFP != parFP {
 				t.Fatalf("final memory images diverge: sequential %#x, parallel %#x", seqFP, parFP)
+			}
+			if seqRes.Counters != intRes.Counters {
+				t.Fatalf("engines diverge:\n  compiled    %+v\n  interpreted %+v",
+					seqRes.Counters, intRes.Counters)
+			}
+			if seqFP != intFP {
+				t.Fatalf("engine memory images diverge: compiled %#x, interpreted %#x",
+					seqFP, intFP)
 			}
 		}
 	})

@@ -3,12 +3,18 @@ package isa
 import (
 	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // Program is an executable sequence of instructions. Instruction
 // indices are the simulator's program counters; the encoded byte
 // address of instruction i is i*InstrBytes (for instruction-cache
 // modeling).
+//
+// Programs are shared by pointer (every constructor returns *Program)
+// and are immutable once built; the compile cache below relies on
+// both.
 type Program struct {
 	// Name identifies the kernel in reports.
 	Name string
@@ -18,7 +24,29 @@ type Program struct {
 	// determines occupancy (Section II-B: the megakernel must reserve
 	// the maximum across all shader targets).
 	RegsPerThread int
+
+	// The pre-decoded form, produced at most once per program no
+	// matter how many SMs (or repeated runs) execute it.
+	compileOnce sync.Once
+	compiled    *Compiled
+	compiles    atomic.Int32
 }
+
+// Compiled returns the program's pre-decoded form, running the compile
+// pass on first use and caching it for every later caller. Safe for
+// concurrent use.
+func (p *Program) Compiled() *Compiled {
+	p.compileOnce.Do(func() {
+		p.compiled = compile(p)
+		p.compiles.Add(1)
+	})
+	return p.compiled
+}
+
+// CompileCount reports how many times the compile pass has actually
+// run for this program: 0 before first use, 1 ever after. Tests use it
+// to pin the compiled-once contract.
+func (p *Program) CompileCount() int { return int(p.compiles.Load()) }
 
 // Len returns the number of instructions.
 func (p *Program) Len() int { return len(p.Code) }

@@ -64,6 +64,11 @@ type Options struct {
 	// with a discard logger — the serving layer is always observable,
 	// logging is opt-in.
 	Obs *obs.Observer
+	// Interpret runs jobs on the per-cycle interpreter instead of the
+	// compiled engine when their spec leaves the compile field empty;
+	// a spec's explicit "on"/"off" always wins. Engine choice never
+	// changes results (the two are bit-identical) or cache keys.
+	Interpret bool
 }
 
 func (o Options) withDefaults() Options {
@@ -399,6 +404,9 @@ func (s *Server) Submit(ctx context.Context, spec JobSpec) (JobResult, error) {
 	// cache key deliberately ignores it (like Trace, it is not an
 	// architecture parameter).
 	cfg.Faults = s.opts.Faults
+	if spec.Compile == "" && s.opts.Interpret {
+		cfg.Compiled = false
+	}
 	kernel, err := spec.BuildKernel()
 	if err != nil {
 		return JobResult{}, &apiError{status: http.StatusBadRequest, msg: err.Error()}

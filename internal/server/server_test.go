@@ -509,6 +509,8 @@ func TestSpecValidation(t *testing.T) {
 		{Microbench: 32, SI: true, Yield: true, Trigger: "all", Order: "largest"},
 		{App: "BFV1", DWS: true},
 		{Microbench: 1, SI: true, MaxSubwarps: 2, LatencyCycles: 300, WarpSlots: 16},
+		{Microbench: 4, Compile: "off"},
+		{Microbench: 4, Compile: "ON"},
 	}
 	for _, spec := range valid {
 		if err := spec.Validate(); err != nil {
@@ -525,6 +527,7 @@ func TestSpecValidation(t *testing.T) {
 		{Microbench: 4, Trigger: "sometimes"},
 		{Microbench: 4, WarpSlots: -2},
 		{App: "NotAnApp"},
+		{Microbench: 4, Compile: "maybe"},
 	}
 	for _, spec := range invalid {
 		if err := spec.Validate(); err == nil {
@@ -563,5 +566,58 @@ func TestSpecConfigKnobs(t *testing.T) {
 	}
 	if got := (JobSpec{Microbench: 8}).WorkloadID(); got != "micro/8" {
 		t.Errorf("WorkloadID = %q", got)
+	}
+
+	for compile, want := range map[string]bool{"": true, "on": true, "off": false} {
+		cfg, err := JobSpec{Microbench: 4, Compile: compile}.Config()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cfg.Compiled != want {
+			t.Errorf("Compile=%q → Compiled=%v, want %v", compile, cfg.Compiled, want)
+		}
+	}
+}
+
+// TestCompileEngineChoice pins the serving contract of the execution
+// engine knob: engine choice is not an architecture parameter, so a
+// compiled job and its interpreted twin share one cache key (the
+// interpreted re-POST is a hit) and report bit-identical counters —
+// including on a server whose default engine is the interpreter
+// (Options.Interpret, sisimd -compile off).
+func TestCompileEngineChoice(t *testing.T) {
+	for _, srvOpts := range []struct {
+		name string
+		opts Options
+	}{
+		{"compiled-default", Options{Workers: 2}},
+		{"interpret-default", Options{Workers: 2, Interpret: true}},
+	} {
+		t.Run(srvOpts.name, func(t *testing.T) {
+			s := newTestServer(t, srvOpts.opts)
+			ts := httptest.NewServer(s.Handler())
+			defer ts.Close()
+
+			first, code := postJob(t, ts, JobSpec{Microbench: 4, SI: true, Compile: "on"})
+			if code != http.StatusOK {
+				t.Fatalf("compiled POST = %d", code)
+			}
+			if first.Cached || first.Counters.Cycles == 0 {
+				t.Fatalf("compiled run: cached=%v counters=%+v", first.Cached, first.Counters)
+			}
+			for _, compile := range []string{"off", ""} {
+				res, code := postJob(t, ts, JobSpec{Microbench: 4, SI: true, Compile: compile})
+				if code != http.StatusOK {
+					t.Fatalf("compile=%q POST = %d", compile, code)
+				}
+				if !res.Cached {
+					t.Errorf("compile=%q must share the compiled run's cache key", compile)
+				}
+				if res.Counters != first.Counters {
+					t.Errorf("compile=%q counters differ:\n  compiled %+v\n  got      %+v",
+						compile, first.Counters, res.Counters)
+				}
+			}
+		})
 	}
 }

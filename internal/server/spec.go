@@ -39,6 +39,12 @@ type JobSpec struct {
 	// Order is the divergent-path activation order: "taken" (default),
 	// "fallthrough", "largest", or "random".
 	Order string `json:"order,omitempty"`
+	// Compile selects the execution engine: "on" (pre-decoded streams
+	// with basic-block fast-forward), "off" (the per-cycle
+	// interpreter), or "" for the server's default. The engines are
+	// bit-identical, so this is a debugging knob, not a result knob;
+	// the cache key ignores it.
+	Compile string `json:"compile,omitempty"`
 
 	// TimeoutMS bounds this job's simulation wall time; 0 uses the
 	// server default. The server clamps it to its configured maximum.
@@ -75,6 +81,19 @@ func ParseTrigger(name string) (config.SelectTrigger, error) {
 	}
 }
 
+// ParseCompile maps a CLI/API engine name onto the config.Compiled
+// bit. The empty string means "default" and parses as compiled.
+func ParseCompile(name string) (bool, error) {
+	switch strings.ToLower(name) {
+	case "", "on":
+		return true, nil
+	case "off":
+		return false, nil
+	default:
+		return false, fmt.Errorf("unknown compile mode %q (on, off)", name)
+	}
+}
+
 // Validate reports the first problem with the spec.
 func (j JobSpec) Validate() error {
 	switch {
@@ -102,6 +121,9 @@ func (j JobSpec) Validate() error {
 	if _, err := ParseOrder(j.Order); err != nil {
 		return err
 	}
+	if _, err := ParseCompile(j.Compile); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -120,6 +142,8 @@ func (j JobSpec) Config() (config.Config, error) {
 	}
 	order, _ := ParseOrder(j.Order)
 	cfg.Order = order
+	compiled, _ := ParseCompile(j.Compile)
+	cfg.Compiled = compiled
 	if j.DWS {
 		cfg = cfg.WithDWS()
 	} else if j.SI {

@@ -92,7 +92,10 @@ func KeyOf(cfg config.Config, k *sm.Kernel, workloadID string) Key {
 }
 
 // writeCanonicalConfig streams every result-affecting config field in
-// a fixed order. Config.Trace is deliberately excluded.
+// a fixed order. Config.Trace, Config.Faults, and Config.Compiled are
+// deliberately excluded: none of them changes simulation results
+// (compiled execution is bit-identical to the interpreter by
+// contract), so a cached result serves both modes.
 func writeCanonicalConfig(w io.Writer, c config.Config) {
 	fmt.Fprintf(w, "v=%s;", keyVersion)
 	fmt.Fprintf(w, "sms=%d;blocks=%d;slots=%d;", c.NumSMs, c.BlocksPerSM, c.WarpSlotsPerBlock)

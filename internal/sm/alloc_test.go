@@ -108,6 +108,77 @@ func TestWritebackDrainZeroAlloc(t *testing.T) {
 	}
 }
 
+// TestCompiledSteadyStateZeroAlloc pins the compiled engine's
+// steady-state loop exactly as RunContext drives it — scheduler step,
+// fast-forward horizon computation, bulk commit — at zero heap
+// allocations per iteration, and pins the interpreted engine
+// (Compiled=false) separately so neither escape hatch regresses.
+func TestCompiledSteadyStateZeroAlloc(t *testing.T) {
+	t.Run("compiled-ff", func(t *testing.T) {
+		cfg := testConfig()
+		if !cfg.Compiled {
+			t.Fatal("default config no longer selects the compiled engine")
+		}
+		s := allocSM(t, cfg, straightLine(100000), 4)
+		if s.ffLen == nil {
+			t.Fatal("compiled config did not install fast-forward tables")
+		}
+		blk := s.blocks[0]
+		now := int64(0)
+		ffWindows := 0
+		cycle := func() {
+			issued, next := blk.step(now)
+			if h := s.ffHorizon(now, next, issued); h > now+1 {
+				if blk.lastPick >= 0 {
+					blk.ffCommit(h-now-1, h)
+				} else {
+					blk.skipIdle(h-now-1, h)
+				}
+				ffWindows++
+				now = h
+			} else {
+				now++
+			}
+		}
+		for i := 0; i < 512; i++ {
+			cycle()
+		}
+		if ffWindows == 0 {
+			t.Fatal("fast-forward never engaged during warmup; the pin is vacuous")
+		}
+		avg := testing.AllocsPerRun(200, cycle)
+		if avg != 0 {
+			t.Fatalf("compiled steady-state loop allocates %.1f times per iteration, want 0", avg)
+		}
+		if blk.done {
+			t.Fatal("kernel finished inside the measured window; enlarge the program")
+		}
+	})
+	t.Run("interpreted", func(t *testing.T) {
+		cfg := testConfig()
+		cfg.Compiled = false
+		s := allocSM(t, cfg, straightLine(20000), 4)
+		if s.cops != nil || s.ffLen != nil {
+			t.Fatal("interpreted config unexpectedly installed compiled state")
+		}
+		blk := s.blocks[0]
+		now := int64(0)
+		for ; now < 512; now++ {
+			blk.step(now)
+		}
+		avg := testing.AllocsPerRun(200, func() {
+			blk.step(now)
+			now++
+		})
+		if avg != 0 {
+			t.Fatalf("interpreted steady-state Block.step allocates %.1f times per cycle, want 0", avg)
+		}
+		if blk.done {
+			t.Fatal("kernel finished inside the measured window; enlarge the program")
+		}
+	})
+}
+
 // BenchmarkBlockStep measures one scheduler cycle on an ALU-dense
 // multi-warp block (the simulator's innermost loop).
 func BenchmarkBlockStep(b *testing.B) {

@@ -83,6 +83,16 @@ type Block struct {
 	counters   stats.Counters
 	done       bool
 
+	// Compiled-mode state, shared with (and owned by) the SM: cops is
+	// the pre-decoded operation stream (nil in interpreted mode) and
+	// ffLen the per-PC fast-forward run lengths (nil when fast-forward
+	// is off — interpreted mode or an attached trace recorder).
+	// lastPick records which warp issued in the most recent step (-1
+	// when none), which is what SM.ffHorizon consults.
+	cops     []isa.COp
+	ffLen    []int32
+	lastPick int
+
 	// Dirty-warp scheduling state. statuses caches each warp's issue
 	// class across cycles; a warp is re-classified (the expensive
 	// status() probe) only when an event that could change its class
@@ -129,6 +139,9 @@ func newBlock(id int, cfg config.Config, owner *SM) *Block {
 		dirty:    make([]bool, 0, cfg.WarpSlotsPerBlock),
 		wakeAt:   make([]int64, 0, cfg.WarpSlotsPerBlock),
 		rec:      cfg.Trace,
+		cops:     owner.cops,
+		ffLen:    owner.ffLen,
+		lastPick: -1,
 	}
 }
 
@@ -188,6 +201,7 @@ func (b *Block) step(now int64) (issued bool, next int64) {
 	if b.done {
 		return false, math.MaxInt64
 	}
+	b.lastPick = -1
 
 	b.drainEvents(now)
 	b.completeSelections(now)
@@ -391,17 +405,25 @@ func (b *Block) status(w *Warp, now int64) issueClass {
 
 	// Load-to-use scoreboard wait. The baseline observes the warp-wide
 	// aliased view; SI reads the active subwarp's replicated counters.
-	in := b.sm.prog.At(w.activePC)
-	if in.ReqScbd != isa.NoScoreboard {
+	if req := b.reqScbd(w.activePC); req != isa.NoScoreboard {
 		mask := w.active
 		if !b.cfg.SI.Enabled {
 			mask = w.tab.Live()
 		}
-		if !w.sb.Ready(mask, int(in.ReqScbd)) {
+		if !w.sb.Ready(mask, int(req)) {
 			return classScbdWait
 		}
 	}
 	return classCanIssue
+}
+
+// reqScbd returns the &req scoreboard annotation of the instruction at
+// pc, reading the pre-decoded stream when one is attached.
+func (b *Block) reqScbd(pc int) int8 {
+	if b.cops != nil {
+		return b.cops[pc].ReqScbd
+	}
+	return b.sm.prog.At(pc).ReqScbd
 }
 
 // demote performs subwarp-stall: the active subwarp records its
@@ -424,8 +446,7 @@ func (b *Block) demote(w *Warp, now int64) bool {
 		b.counters.TSTOverflow++
 		return false
 	}
-	in := b.sm.prog.At(w.activePC)
-	sbid := int(in.ReqScbd)
+	sbid := int(b.reqScbd(w.activePC))
 	ok := w.tab.Stall(w.active, sbid, func(lane int) int {
 		return w.sb.LaneCount(lane, sbid)
 	})
@@ -500,8 +521,13 @@ func (b *Block) issue(now int64) bool {
 		return false
 	}
 	b.lastIssued = pick
+	b.lastPick = pick
 	w := b.warps[pick]
-	b.execute(w, b.sm.prog.At(w.activePC), now)
+	if b.cops != nil {
+		b.executeCompiled(w, now)
+	} else {
+		b.execute(w, b.sm.prog.At(w.activePC), now)
+	}
 	// Executing changed the warp's own state (PC, masks, scoreboards);
 	// re-classify it next cycle. No other warp's class can change from
 	// this issue alone.

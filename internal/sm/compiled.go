@@ -1,0 +1,545 @@
+package sm
+
+import (
+	"fmt"
+	"math"
+
+	"subwarpsim/internal/isa"
+	"subwarpsim/internal/trace"
+	"subwarpsim/internal/tst"
+)
+
+// Compiled execution: when cfg.Compiled is set, the SM executes the
+// program's pre-decoded operation stream (isa.Compiled) through the
+// function table below instead of re-decoding and switch-dispatching
+// in execute() every cycle, and SM.RunContext retires eligible
+// straight-line convergent regions in bulk (basic-block fast-forward,
+// see ffRun/ffCommit). Both paths are required to be bit-identical to
+// the interpreter — counters, memory, and trace streams — which the
+// compiled differential and fuzz suites enforce.
+
+// compiledExec dispatches one pre-decoded operation. The hot ALU
+// classes read only COp fields; the rare classes with elaborate
+// semantics (loads, ray tracing, control flow) delegate to the
+// interpreter's arms with the original instruction so the two modes
+// share one implementation.
+var compiledExec = [isa.NumExecClasses]func(*Block, *Warp, *isa.COp, int64){
+	isa.ExecNOP:    execCNop,
+	isa.ExecMOVI:   execCMovi,
+	isa.ExecMOV:    execCMov,
+	isa.ExecS2R:    execCS2r,
+	isa.ExecIADD:   execCIadd,
+	isa.ExecIADDI:  execCIaddi,
+	isa.ExecIMUL:   execCImul,
+	isa.ExecIMULI:  execCImuli,
+	isa.ExecIAND:   execCIand,
+	isa.ExecIOR:    execCIor,
+	isa.ExecIXOR:   execCIxor,
+	isa.ExecSHL:    execCShl,
+	isa.ExecSHR:    execCShr,
+	isa.ExecISETP:  execCIsetp,
+	isa.ExecISETPI: execCIsetpi,
+	isa.ExecFADD:   execCFadd,
+	isa.ExecFMUL:   execCFmul,
+	isa.ExecFFMA:   execCFfma,
+	isa.ExecMUFU:   execCMufu,
+	isa.ExecLOAD:   execCLoad,
+	isa.ExecSTG:    execCStg,
+	isa.ExecTRACE:  execCTrace,
+	isa.ExecBRA:    execCBra,
+	isa.ExecBRX:    execCBrx,
+	isa.ExecBSSY:   execCBssy,
+	isa.ExecBSYNC:  execCBsync,
+	isa.ExecYIELD:  execCYield,
+	isa.ExecEXIT:   execCExit,
+}
+
+// executeCompiled is the compiled-mode twin of execute(): identical
+// issue bookkeeping, then table dispatch on the pre-decoded stream.
+func (b *Block) executeCompiled(w *Warp, now int64) {
+	mask := w.active
+	if mask.Empty() {
+		panic("sm: execute with empty active mask")
+	}
+	b.counters.IssuedInstrs++
+	b.counters.ActiveThreads += int64(mask.Count())
+	op := &b.cops[w.activePC]
+	if b.rec != nil {
+		b.emit(now, w, w.activePC, mask, trace.KindIssue, int(op.Op))
+	}
+	compiledExec[op.Exec](b, w, op, now)
+}
+
+func execCNop(b *Block, w *Warp, op *isa.COp, now int64) {
+	w.setActivePCs(w.activePC + 1)
+}
+
+func execCMovi(b *Block, w *Warp, op *isa.COp, now int64) {
+	for it := w.active; !it.Empty(); it = it.DropLowest() {
+		w.regs[it.Lowest()][op.Dst] = uint32(op.Imm)
+	}
+	w.setActivePCs(w.activePC + 1)
+}
+
+func execCMov(b *Block, w *Warp, op *isa.COp, now int64) {
+	for it := w.active; !it.Empty(); it = it.DropLowest() {
+		l := it.Lowest()
+		w.regs[l][op.Dst] = w.regs[l][op.SrcA]
+	}
+	w.setActivePCs(w.activePC + 1)
+}
+
+func execCS2r(b *Block, w *Warp, op *isa.COp, now int64) {
+	for it := w.active; !it.Empty(); it = it.DropLowest() {
+		l := it.Lowest()
+		w.regs[l][op.Dst] = w.special(int(op.SrcA), l)
+	}
+	w.setActivePCs(w.activePC + 1)
+}
+
+func execCIadd(b *Block, w *Warp, op *isa.COp, now int64) {
+	for it := w.active; !it.Empty(); it = it.DropLowest() {
+		l := it.Lowest()
+		w.regs[l][op.Dst] = w.regs[l][op.SrcA] + w.regs[l][op.SrcB]
+	}
+	w.setActivePCs(w.activePC + 1)
+}
+
+func execCIaddi(b *Block, w *Warp, op *isa.COp, now int64) {
+	for it := w.active; !it.Empty(); it = it.DropLowest() {
+		l := it.Lowest()
+		w.regs[l][op.Dst] = w.regs[l][op.SrcA] + uint32(op.Imm)
+	}
+	w.setActivePCs(w.activePC + 1)
+}
+
+func execCImul(b *Block, w *Warp, op *isa.COp, now int64) {
+	for it := w.active; !it.Empty(); it = it.DropLowest() {
+		l := it.Lowest()
+		w.regs[l][op.Dst] = w.regs[l][op.SrcA] * w.regs[l][op.SrcB]
+	}
+	w.setActivePCs(w.activePC + 1)
+}
+
+func execCImuli(b *Block, w *Warp, op *isa.COp, now int64) {
+	for it := w.active; !it.Empty(); it = it.DropLowest() {
+		l := it.Lowest()
+		w.regs[l][op.Dst] = w.regs[l][op.SrcA] * uint32(op.Imm)
+	}
+	w.setActivePCs(w.activePC + 1)
+}
+
+func execCIand(b *Block, w *Warp, op *isa.COp, now int64) {
+	for it := w.active; !it.Empty(); it = it.DropLowest() {
+		l := it.Lowest()
+		w.regs[l][op.Dst] = w.regs[l][op.SrcA] & w.regs[l][op.SrcB]
+	}
+	w.setActivePCs(w.activePC + 1)
+}
+
+func execCIor(b *Block, w *Warp, op *isa.COp, now int64) {
+	for it := w.active; !it.Empty(); it = it.DropLowest() {
+		l := it.Lowest()
+		w.regs[l][op.Dst] = w.regs[l][op.SrcA] | w.regs[l][op.SrcB]
+	}
+	w.setActivePCs(w.activePC + 1)
+}
+
+func execCIxor(b *Block, w *Warp, op *isa.COp, now int64) {
+	for it := w.active; !it.Empty(); it = it.DropLowest() {
+		l := it.Lowest()
+		w.regs[l][op.Dst] = w.regs[l][op.SrcA] ^ w.regs[l][op.SrcB]
+	}
+	w.setActivePCs(w.activePC + 1)
+}
+
+func execCShl(b *Block, w *Warp, op *isa.COp, now int64) {
+	for it := w.active; !it.Empty(); it = it.DropLowest() {
+		l := it.Lowest()
+		w.regs[l][op.Dst] = w.regs[l][op.SrcA] << op.Sh
+	}
+	w.setActivePCs(w.activePC + 1)
+}
+
+func execCShr(b *Block, w *Warp, op *isa.COp, now int64) {
+	for it := w.active; !it.Empty(); it = it.DropLowest() {
+		l := it.Lowest()
+		w.regs[l][op.Dst] = w.regs[l][op.SrcA] >> op.Sh
+	}
+	w.setActivePCs(w.activePC + 1)
+}
+
+func execCIsetp(b *Block, w *Warp, op *isa.COp, now int64) {
+	for it := w.active; !it.Empty(); it = it.DropLowest() {
+		l := it.Lowest()
+		w.preds[l][op.Dst] = op.Cmp.Eval(int32(w.regs[l][op.SrcA]), int32(w.regs[l][op.SrcB]))
+	}
+	w.setActivePCs(w.activePC + 1)
+}
+
+func execCIsetpi(b *Block, w *Warp, op *isa.COp, now int64) {
+	for it := w.active; !it.Empty(); it = it.DropLowest() {
+		l := it.Lowest()
+		w.preds[l][op.Dst] = op.Cmp.Eval(int32(w.regs[l][op.SrcA]), op.Imm)
+	}
+	w.setActivePCs(w.activePC + 1)
+}
+
+func execCFadd(b *Block, w *Warp, op *isa.COp, now int64) {
+	for it := w.active; !it.Empty(); it = it.DropLowest() {
+		l := it.Lowest()
+		a := math.Float32frombits(w.regs[l][op.SrcA])
+		x := math.Float32frombits(w.regs[l][op.SrcB])
+		w.regs[l][op.Dst] = math.Float32bits(a + x)
+	}
+	w.setActivePCs(w.activePC + 1)
+}
+
+func execCFmul(b *Block, w *Warp, op *isa.COp, now int64) {
+	for it := w.active; !it.Empty(); it = it.DropLowest() {
+		l := it.Lowest()
+		a := math.Float32frombits(w.regs[l][op.SrcA])
+		x := math.Float32frombits(w.regs[l][op.SrcB])
+		w.regs[l][op.Dst] = math.Float32bits(a * x)
+	}
+	w.setActivePCs(w.activePC + 1)
+}
+
+func execCFfma(b *Block, w *Warp, op *isa.COp, now int64) {
+	for it := w.active; !it.Empty(); it = it.DropLowest() {
+		l := it.Lowest()
+		a := math.Float32frombits(w.regs[l][op.SrcA])
+		x := math.Float32frombits(w.regs[l][op.SrcB])
+		c := math.Float32frombits(w.regs[l][op.SrcC])
+		w.regs[l][op.Dst] = math.Float32bits(a*x + c)
+	}
+	w.setActivePCs(w.activePC + 1)
+}
+
+func execCMufu(b *Block, w *Warp, op *isa.COp, now int64) {
+	for it := w.active; !it.Empty(); it = it.DropLowest() {
+		l := it.Lowest()
+		x := math.Float32frombits(w.regs[l][op.SrcA])
+		w.regs[l][op.Dst] = math.Float32bits(float32(1 / math.Sqrt(math.Abs(float64(x))+1)))
+	}
+	w.setActivePCs(w.activePC + 1)
+}
+
+func execCLoad(b *Block, w *Warp, op *isa.COp, now int64) {
+	b.executeLoad(w, b.sm.prog.Code[w.activePC], now)
+}
+
+func execCStg(b *Block, w *Warp, op *isa.COp, now int64) {
+	for it := w.active; !it.Empty(); it = it.DropLowest() {
+		l := it.Lowest()
+		addr := uint64(w.regs[l][op.SrcA]) + op.UImm
+		b.sm.mem.Store(addr, w.regs[l][op.SrcB])
+	}
+	w.setActivePCs(w.activePC + 1)
+}
+
+func execCTrace(b *Block, w *Warp, op *isa.COp, now int64) {
+	b.executeTrace(w, b.sm.prog.Code[w.activePC], now)
+}
+
+func execCBra(b *Block, w *Warp, op *isa.COp, now int64) {
+	b.executeBranch(w, b.sm.prog.Code[w.activePC], now)
+}
+
+func execCBrx(b *Block, w *Warp, op *isa.COp, now int64) {
+	b.executeBrx(w, b.sm.prog.Code[w.activePC], now)
+}
+
+func execCBssy(b *Block, w *Warp, op *isa.COp, now int64) {
+	w.barriers[op.Barrier] = w.barriers[op.Barrier].Union(w.active)
+	w.setActivePCs(w.activePC + 1)
+}
+
+func execCBsync(b *Block, w *Warp, op *isa.COp, now int64) {
+	b.executeBsync(w, b.sm.prog.Code[w.activePC], now)
+}
+
+func execCYield(b *Block, w *Warp, op *isa.COp, now int64) {
+	w.setActivePCs(w.activePC + 1)
+	if b.cfg.SI.Enabled && b.cfg.SI.Yield && !w.tab.Mask(tst.Ready).Empty() {
+		b.yield(w, now)
+	}
+}
+
+func execCExit(b *Block, w *Warp, op *isa.COp, now int64) {
+	mask := w.active
+	if b.rec != nil {
+		b.emit(now, w, w.activePC, mask, trace.KindExit, 0)
+	}
+	w.tab.Exit(mask)
+	w.dropActive()
+	w.checkExit()
+	if !w.exited {
+		b.releaseAfterExit(w, now)
+	}
+}
+
+// ---- Basic-block fast-forward --------------------------------------
+//
+// After a lock-step cycle in which every non-done block either issued
+// or is provably idle, SM.ffHorizon asks each block how many upcoming
+// cycles are "inert": the issuing warp sits in a fast-forward-simple
+// run (isa.Compiled.FFLen) confined to its already-fetched icache
+// line, so for every cycle before the horizon
+//
+//   - the block's scheduler would re-pick the same warp (greedy
+//     last-issued-first over frozen statuses),
+//   - executing the op touches only that warp's registers, predicates,
+//     or convergence-barrier masks — state no other warp, block, or
+//     counter observes mid-run,
+//   - no writeback, select completion, or fetch fill is due (the
+//     horizon is capped by nextEventTime, which covers all three), and
+//   - with SI enabled, no per-stepped-cycle policy action could fire:
+//     no warp is scoreboard-stalled (demotion and its TSTOverflow
+//     accounting re-run every stepped cycle) and subwarp-select would
+//     not initiate on the frozen statuses (ffStable).
+//
+// Under those conditions ffCommit retires the whole window in one
+// call with cycle-exact counters, and idle blocks account the same
+// window through the existing skipIdle path. Fast-forward is disabled
+// when a trace recorder is attached (SM.ffLen stays nil): compiled
+// dispatch still runs, cycle by cycle, so trace streams are trivially
+// identical.
+
+// ffStable reports whether skipping stepped cycles is invisible to the
+// block's SI policy state: no warp awaits a per-cycle demotion
+// attempt, and subwarp-select cannot initiate on the frozen statuses.
+// Always true with SI disabled (the baseline has no per-stepped-cycle
+// policy actions).
+func (b *Block) ffStable() bool {
+	if !b.cfg.SI.Enabled {
+		return true
+	}
+	stalled, live := 0, 0
+	for i, w := range b.warps {
+		if b.statuses[i] == classScbdWait {
+			return false
+		}
+		if w.exited {
+			continue
+		}
+		live++
+		if b.statuses[i] == classNoActive {
+			stalled++
+		}
+	}
+	if !b.cfg.SI.Trigger.Satisfied(stalled, live) {
+		return true
+	}
+	for i, w := range b.warps {
+		if b.statuses[i] != classNoActive || w.pendingSelect {
+			continue
+		}
+		if !w.tab.Mask(tst.Ready).Empty() {
+			// maybeTriggerSelect would initiate on this warp next cycle
+			// (one initiation per block per cycle), so cycles cannot be
+			// skipped.
+			return false
+		}
+	}
+	return true
+}
+
+// ffRun returns how many consecutive cycles the block's last-issued
+// warp can retire without any observable scheduling event: the length
+// of the fast-forward-simple run at its PC, capped to the instructions
+// remaining on its already-fetched icache line (crossing a line
+// boundary requires the per-cycle fetch probe). Returns 0 when the
+// warp is not simply advancing (exited, switched, diverted, or its
+// next instruction needs a fetch or is not simple).
+func (b *Block) ffRun() int64 {
+	w := b.warps[b.lastPick]
+	if w.exited || w.pendingSelect || w.active.Empty() || w.fetchingLine != math.MaxUint64 {
+		return 0
+	}
+	pc := w.activePC
+	run := int64(b.ffLen[pc])
+	if run == 0 {
+		return 0
+	}
+	ib := uint64(b.cfg.InstrBytes)
+	lb := uint64(b.cfg.CacheLineBytes)
+	line := uint64(pc) * ib / lb
+	if line != w.fetchedLine {
+		return 0
+	}
+	lastPC := int64(((line+1)*lb - 1) / ib)
+	if left := lastPC - int64(pc) + 1; run > left {
+		run = left
+	}
+	return run
+}
+
+// ffCommit retires gap cycles of the last-issued warp's simple run in
+// one call, with exactly the counters cycle-by-cycle execution would
+// have accrued: gap issue cycles, gap instructions, gap×|active|
+// threads. Per-op PC writes are batched into one setActivePCs at the
+// end — intermediate PCs are unobservable inside the window (no
+// events, no tracing, no cross-warp reads). The warp stays dirty from
+// its issue at the window's base cycle, so the first stepped cycle at
+// the horizon re-classifies it as usual.
+func (b *Block) ffCommit(gap, endCycle int64) {
+	w := b.warps[b.lastPick]
+	mask := w.active
+	pc := w.activePC
+	b.counters.IssueCycles += gap
+	b.counters.IssuedInstrs += gap
+	b.counters.ActiveThreads += gap * int64(mask.Count())
+	for n := int64(0); n < gap; n++ {
+		op := &b.cops[pc]
+		switch op.Exec {
+		case isa.ExecNOP, isa.ExecYIELD:
+			// YIELD reaches a run only via FFLenYieldInert, selected when
+			// the hint is architecturally inert.
+		case isa.ExecMOVI:
+			for it := mask; !it.Empty(); it = it.DropLowest() {
+				w.regs[it.Lowest()][op.Dst] = uint32(op.Imm)
+			}
+		case isa.ExecMOV:
+			for it := mask; !it.Empty(); it = it.DropLowest() {
+				l := it.Lowest()
+				w.regs[l][op.Dst] = w.regs[l][op.SrcA]
+			}
+		case isa.ExecS2R:
+			for it := mask; !it.Empty(); it = it.DropLowest() {
+				l := it.Lowest()
+				w.regs[l][op.Dst] = w.special(int(op.SrcA), l)
+			}
+		case isa.ExecIADD:
+			for it := mask; !it.Empty(); it = it.DropLowest() {
+				l := it.Lowest()
+				w.regs[l][op.Dst] = w.regs[l][op.SrcA] + w.regs[l][op.SrcB]
+			}
+		case isa.ExecIADDI:
+			for it := mask; !it.Empty(); it = it.DropLowest() {
+				l := it.Lowest()
+				w.regs[l][op.Dst] = w.regs[l][op.SrcA] + uint32(op.Imm)
+			}
+		case isa.ExecIMUL:
+			for it := mask; !it.Empty(); it = it.DropLowest() {
+				l := it.Lowest()
+				w.regs[l][op.Dst] = w.regs[l][op.SrcA] * w.regs[l][op.SrcB]
+			}
+		case isa.ExecIMULI:
+			for it := mask; !it.Empty(); it = it.DropLowest() {
+				l := it.Lowest()
+				w.regs[l][op.Dst] = w.regs[l][op.SrcA] * uint32(op.Imm)
+			}
+		case isa.ExecIAND:
+			for it := mask; !it.Empty(); it = it.DropLowest() {
+				l := it.Lowest()
+				w.regs[l][op.Dst] = w.regs[l][op.SrcA] & w.regs[l][op.SrcB]
+			}
+		case isa.ExecIOR:
+			for it := mask; !it.Empty(); it = it.DropLowest() {
+				l := it.Lowest()
+				w.regs[l][op.Dst] = w.regs[l][op.SrcA] | w.regs[l][op.SrcB]
+			}
+		case isa.ExecIXOR:
+			for it := mask; !it.Empty(); it = it.DropLowest() {
+				l := it.Lowest()
+				w.regs[l][op.Dst] = w.regs[l][op.SrcA] ^ w.regs[l][op.SrcB]
+			}
+		case isa.ExecSHL:
+			for it := mask; !it.Empty(); it = it.DropLowest() {
+				l := it.Lowest()
+				w.regs[l][op.Dst] = w.regs[l][op.SrcA] << op.Sh
+			}
+		case isa.ExecSHR:
+			for it := mask; !it.Empty(); it = it.DropLowest() {
+				l := it.Lowest()
+				w.regs[l][op.Dst] = w.regs[l][op.SrcA] >> op.Sh
+			}
+		case isa.ExecISETP:
+			for it := mask; !it.Empty(); it = it.DropLowest() {
+				l := it.Lowest()
+				w.preds[l][op.Dst] = op.Cmp.Eval(int32(w.regs[l][op.SrcA]), int32(w.regs[l][op.SrcB]))
+			}
+		case isa.ExecISETPI:
+			for it := mask; !it.Empty(); it = it.DropLowest() {
+				l := it.Lowest()
+				w.preds[l][op.Dst] = op.Cmp.Eval(int32(w.regs[l][op.SrcA]), op.Imm)
+			}
+		case isa.ExecFADD:
+			for it := mask; !it.Empty(); it = it.DropLowest() {
+				l := it.Lowest()
+				a := math.Float32frombits(w.regs[l][op.SrcA])
+				x := math.Float32frombits(w.regs[l][op.SrcB])
+				w.regs[l][op.Dst] = math.Float32bits(a + x)
+			}
+		case isa.ExecFMUL:
+			for it := mask; !it.Empty(); it = it.DropLowest() {
+				l := it.Lowest()
+				a := math.Float32frombits(w.regs[l][op.SrcA])
+				x := math.Float32frombits(w.regs[l][op.SrcB])
+				w.regs[l][op.Dst] = math.Float32bits(a * x)
+			}
+		case isa.ExecFFMA:
+			for it := mask; !it.Empty(); it = it.DropLowest() {
+				l := it.Lowest()
+				a := math.Float32frombits(w.regs[l][op.SrcA])
+				x := math.Float32frombits(w.regs[l][op.SrcB])
+				c := math.Float32frombits(w.regs[l][op.SrcC])
+				w.regs[l][op.Dst] = math.Float32bits(a*x + c)
+			}
+		case isa.ExecMUFU:
+			for it := mask; !it.Empty(); it = it.DropLowest() {
+				l := it.Lowest()
+				x := math.Float32frombits(w.regs[l][op.SrcA])
+				w.regs[l][op.Dst] = math.Float32bits(float32(1 / math.Sqrt(math.Abs(float64(x))+1)))
+			}
+		case isa.ExecBSSY:
+			w.barriers[op.Barrier] = w.barriers[op.Barrier].Union(mask)
+		default:
+			panic(fmt.Sprintf("sm: non-simple op %v in fast-forward run", op.Op))
+		}
+		pc++
+	}
+	w.setActivePCs(pc)
+	b.counters.Cycles = endCycle
+}
+
+// ffHorizon returns the exclusive upper bound of the window the SM may
+// retire in bulk after the lock-step cycle at now: at most next (the
+// earliest scheduled event anywhere), further capped by every issuing
+// block's simple-run length. It returns now+1 — plain single-cycle
+// advance — whenever fast-forward is off, nothing issued, or any block
+// cannot guarantee an inert window.
+func (s *SM) ffHorizon(now, next int64, anyIssued bool) int64 {
+	if s.ffLen == nil || !anyIssued || next <= now+1 {
+		return now + 1
+	}
+	h := next
+	bounded := false
+	for _, blk := range s.blocks {
+		if blk.done {
+			continue
+		}
+		if !blk.ffStable() {
+			return now + 1
+		}
+		if blk.lastPick >= 0 {
+			r := blk.ffRun()
+			if r <= 0 {
+				return now + 1
+			}
+			bounded = true
+			if hh := now + 1 + r; hh < h {
+				h = hh
+			}
+		}
+	}
+	if !bounded {
+		// The issuing block(s) finished during this step (anyIssued came
+		// from a block that is now done), so no run bounds the window;
+		// fall back to single-cycle advance and let the normal loop
+		// terminate or idle-skip.
+		return now + 1
+	}
+	return h
+}

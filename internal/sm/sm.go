@@ -84,6 +84,16 @@ type SM struct {
 	rt     *rtcore.Core
 	blocks []*Block
 
+	// cops is the program's pre-decoded operation stream when
+	// cfg.Compiled is set (nil in interpreted mode); blocks dispatch
+	// through it instead of decoding each cycle. ffLen enables
+	// basic-block fast-forward: per-PC simple-run lengths, nil when
+	// fast-forward is off (interpreted mode, or a trace recorder is
+	// attached — compiled dispatch then still runs cycle by cycle so
+	// the event stream is produced exactly).
+	cops  []isa.COp
+	ffLen []int32
+
 	// mem is the SM's private copy-on-write view of the kernel's
 	// functional memory image; it is what makes SMs safe to simulate
 	// concurrently (see mem.View).
@@ -119,6 +129,19 @@ func NewSM(id int, cfg config.Config, kernel *Kernel) (*SM, error) {
 	if kernel.BVH != nil && kernel.RayGen != nil {
 		s.rt = rtcore.NewCore(kernel.BVH, kernel.RayGen,
 			int64(cfg.RTBaseLatency), int64(cfg.RTStepLatency))
+	}
+	if cfg.Compiled {
+		cp := kernel.Program.Compiled()
+		s.cops = cp.Ops
+		if cfg.Trace == nil {
+			if cfg.SI.Enabled && cfg.SI.Yield {
+				s.ffLen = cp.FFLen
+			} else {
+				// YIELD is architecturally inert in this configuration, so
+				// it may sit inside fast-forward runs.
+				s.ffLen = cp.FFLenYieldInert
+			}
+		}
 	}
 	for b := 0; b < cfg.BlocksPerSM; b++ {
 		s.blocks = append(s.blocks, newBlock(b, cfg, s))
@@ -229,7 +252,26 @@ func (s *SM) RunContext(ctx context.Context, maxCycles int64) (stats.Counters, e
 		}
 		switch {
 		case anyIssued || next <= now+1:
-			now++
+			if h := s.ffHorizon(now, next, anyIssued); h > now+1 {
+				// Basic-block fast-forward: every issuing block retires its
+				// warp's straight-line simple run in bulk and every idle
+				// block accounts the same window as idle cycles; nothing
+				// observable can occur before h (see compiled.go).
+				gap := h - now - 1
+				for _, blk := range s.blocks {
+					if blk.done {
+						continue
+					}
+					if blk.lastPick >= 0 {
+						blk.ffCommit(gap, h)
+					} else {
+						blk.skipIdle(gap, h)
+					}
+				}
+				now = h
+			} else {
+				now++
+			}
 		case next == math.MaxInt64:
 			return s.merge(), fmt.Errorf("sm %d: deadlock at cycle %d\n%s", s.id, now, s.dumpState())
 		default:

@@ -92,7 +92,7 @@ func (w *Warp) Scoreboards() *scoreboard.File { return w.sb }
 // Diverged reports whether the warp currently has more than one live
 // subwarp, the condition under which exposed stalls count as
 // "in divergent code blocks" (Fig. 3).
-func (w *Warp) Diverged() bool { return w.tab.LiveSubwarps() > 1 }
+func (w *Warp) Diverged() bool { return w.tab.DivergedLive() }
 
 // special reads an S2R special register for one lane.
 func (w *Warp) special(sr int, lane int) uint32 {

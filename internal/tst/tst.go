@@ -137,6 +137,24 @@ func (t *Table) LiveSubwarps() int {
 	return t.distinctPCs(t.Live())
 }
 
+// DivergedLive reports whether live lanes span more than one distinct
+// PC, i.e. LiveSubwarps() > 1 without counting: it exits on the first
+// PC mismatch. The scheduler's idle classification calls this every
+// non-issuing cycle, where the full count would be wasted work.
+func (t *Table) DivergedLive() bool {
+	m := t.Live()
+	if m.Empty() {
+		return false
+	}
+	first := t.pcs[m.Lowest()]
+	for it := m.DropLowest(); !it.Empty(); it = it.DropLowest() {
+		if t.pcs[it.Lowest()] != first {
+			return true
+		}
+	}
+	return false
+}
+
 func (t *Table) distinctPCs(m bits.Mask) int {
 	// A fixed-size stack array instead of an appended slice: this runs
 	// inside the scheduler's per-cycle idle classification, which must

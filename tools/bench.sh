@@ -21,7 +21,7 @@ count="${BENCHCOUNT:-1}"
 # number), the simulated-cycle rate, and the zero-alloc hot-loop
 # microbenchmarks. Figure-regeneration benchmarks stay out — they are
 # experiment drivers, not perf regressions trackers.
-pat='BenchmarkGPURunSequential|BenchmarkSimulationRate'
+pat='BenchmarkGPURunSequential|BenchmarkGPURunCompiled|BenchmarkGPURunInterpreted|BenchmarkSimulationRate'
 smpat='BenchmarkBlockStep|BenchmarkExecuteLoad'
 
 tmp=$(mktemp)

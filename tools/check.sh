@@ -37,6 +37,19 @@ echo "== determinism smoke =="
 # interleaving.
 go test -race -count=2 -run 'TestParallelMatchesSequential|TestParallelTraceMatchesSequential' ./internal/gpu
 
+echo "== compiled-mode gate =="
+# The two-mode differential layer under the race detector: the compiled
+# engine (pre-decoded streams + basic-block fast-forward) must be
+# bit-identical to the per-cycle interpreter — counters, derived
+# metrics, memory fingerprints, trace streams — over the golden corpus
+# (both modes), the workload/policy matrix, randomized divergent
+# kernels, and the fuzz seed corpus. The alloc pin covers the compiled
+# steady-state loop itself; the compile-pass tests pin the lowering and
+# its one-compile-per-program cache.
+go test -race -count=1 -run 'TestCompiled|TestGolden' ./internal/gpu ./internal/experiments
+go test -race -count=1 -run 'FuzzRun' ./internal/gpu
+go test -race -count=1 -run 'TestCompile|TestCompiledSteadyStateZeroAlloc' ./internal/isa ./internal/sm
+
 echo "== service smoke =="
 # Drive the real sisimd binary end to end: start it on an ephemeral
 # port, POST a job twice, require the second response to come from the
