@@ -182,6 +182,44 @@ func BenchmarkGPURunCompiled(b *testing.B) { benchEngine(b, true) }
 // only wall time differs.
 func BenchmarkGPURunInterpreted(b *testing.B) { benchEngine(b, false) }
 
+// benchGenerator times one synthetic workload family end to end at its
+// default full-occupancy size. Kernel construction happens with the
+// timer stopped so the reported rate covers simulation alone; the
+// sim-cycles/op metric lets benchjson derive throughput per family
+// (irregular BFS simulates slower per cycle than divergence-free GEMM).
+func benchGenerator(b *testing.B, name string) {
+	var cycles int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		k, err := BuildWorkload(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		res, err := Run(DefaultConfig(), k)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles += res.Counters.Cycles
+	}
+	b.ReportMetric(float64(cycles)/float64(b.N), "sim-cycles/op")
+}
+
+// BenchmarkGPURunGEMM times the divergence-free tiled-GEMM family: the
+// compute-regular end of the workload spectrum, where basic-block
+// fast-forward sees its longest straight-line windows.
+func BenchmarkGPURunGEMM(b *testing.B) { benchGenerator(b, "gemm") }
+
+// BenchmarkGPURunBFS times the irregular frontier-traversal family: the
+// divergence-heavy SI stress case, dominated by data-dependent branch
+// splits and reconvergence work.
+func BenchmarkGPURunBFS(b *testing.B) { benchGenerator(b, "bfs") }
+
+// BenchmarkGPURunTexture times the mixed-latency graphics family:
+// texture-path loads interleaved with ALU work.
+func BenchmarkGPURunTexture(b *testing.B) { benchGenerator(b, "texture") }
+
 // benchGPURun measures one whole-device simulation at a fixed worker
 // count, on an 8-SM device so SM-level parallelism has work to spread.
 func benchGPURun(b *testing.B, workers int) {

@@ -5,6 +5,7 @@
 //	experiments -run fig3,fig13  # a subset
 //	experiments -quick           # smaller workloads (smoke runs)
 //	experiments -o results.txt   # also write a report file
+//	experiments -run matrix -policy gto -workload bfs,texture
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"strings"
 	"time"
 
+	"subwarpsim"
 	"subwarpsim/internal/experiments"
 	"subwarpsim/internal/obs"
 )
@@ -28,6 +30,9 @@ func main() {
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	timeout := flag.Duration("timeout", 0, "abort the whole run after this long (0 = no limit)")
 	compile := flag.String("compile", "on", "execution engine: on (compiled, default) or off (per-cycle interpreter)")
+	policyFlag := flag.String("policy", "", "warp scheduler policy override: lrr (default), gto, wasp; the matrix experiment narrows its policy axis to this")
+	workloadFlag := flag.String("workload", "",
+		"comma-separated workload families for the matrix experiment ("+strings.Join(subwarpsim.WorkloadNames(), ", ")+"); empty means all")
 	version := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
 
@@ -39,6 +44,18 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "bad -compile %q (on, off)\n", *compile)
 		os.Exit(2)
+	}
+
+	policy, err := subwarpsim.ParseSchedPolicy(*policyFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	var workloads []string
+	if *workloadFlag != "" {
+		for _, name := range strings.Split(*workloadFlag, ",") {
+			workloads = append(workloads, strings.TrimSpace(name))
+		}
 	}
 
 	if *version {
@@ -77,7 +94,14 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	opts := experiments.Options{Quick: *quick, Workers: w, Context: ctx, Interpret: interpret}
+	opts := experiments.Options{
+		Quick:       *quick,
+		Workers:     w,
+		Context:     ctx,
+		Interpret:   interpret,
+		SchedPolicy: policy,
+		Workloads:   workloads,
+	}
 	var combined strings.Builder
 	for _, e := range selected {
 		start := time.Now()

@@ -1,12 +1,20 @@
 // Command sisim runs one simulation and prints its statistics.
 //
-//	sisim -app BFV1                       # baseline
+//	sisim -app BFV1                       # baseline raytracing trace
 //	sisim -app BFV1 -si -yield            # Both, N>=0.5
 //	sisim -app Ctrl -si -trigger any      # SOS, N>0
 //	sisim -microbench 4                   # 8-way divergence microbenchmark
+//	sisim -workload bfs -si               # registered workload family
+//	sisim -workload gemm -policy gto      # greedy-then-oldest scheduler
 //	sisim -app MW -si -latency 900 -maxsubwarps 4
 //	sisim -microbench 4 -si -trace out.json -trace-warps 0-7
 //	sisim -app BFV1 -si -timeline occupancy.csv -stalls -hist
+//
+// Workloads come in three kinds: -app (the paper's raytracing traces,
+// see -listapps), -microbench (the divergence-scaling microbenchmark),
+// and -workload (registered synthetic families — the list in the flag's
+// usage text is enumerated from the registry, so new families show up
+// automatically).
 package main
 
 import (
@@ -30,6 +38,11 @@ import (
 func main() {
 	app := flag.String("app", "", "application trace name (AV1..MW); see -listapps")
 	micro := flag.Int("microbench", 0, "run the microbenchmark with this subwarp size (1..32)")
+	// The -workload menu is enumerated from the generator registry so
+	// usage text can never go stale as families are added.
+	workloadFlag := flag.String("workload", "",
+		"synthetic workload family: "+strings.Join(subwarpsim.WorkloadNames(), ", "))
+	policyFlag := flag.String("policy", "", "warp scheduler policy: lrr (default), gto, wasp")
 	si := flag.Bool("si", false, "enable Subwarp Interleaving")
 	dws := flag.Bool("dws", false, "model Dynamic Warp Subdivision instead of SI")
 	yield := flag.Bool("yield", false, "enable subwarp-yield (the paper's 'Both' mode)")
@@ -67,12 +80,20 @@ func main() {
 			fmt.Printf("%-6s %-24s %-5s regs=%d warps=%d shaders=%d\n",
 				a.Name, a.App, a.Effect, a.RegsPerThread, a.NumWarps, a.Shaders)
 		}
+		for _, g := range subwarpsim.WorkloadGenerators() {
+			fmt.Printf("%-8s %s (use -workload)\n", g.Name, g.Title)
+		}
 		return
 	}
 
 	cfg := subwarpsim.DefaultConfig()
 	cfg.L1MissLatency = *latency
 	cfg.WarpSlotsPerBlock = *warpSlots
+	sched, err := subwarpsim.ParseSchedPolicy(*policyFlag)
+	if err != nil {
+		fail("%v", err)
+	}
+	cfg.SchedPolicy = sched
 	switch strings.ToLower(*compile) {
 	case "on":
 		cfg.Compiled = true
@@ -112,11 +133,16 @@ func main() {
 	}
 
 	var kernel *subwarpsim.Kernel
-	var err error
 	var workloadID string
+	selected := 0
+	for _, set := range []bool{*micro != 0, *app != "", *workloadFlag != ""} {
+		if set {
+			selected++
+		}
+	}
 	switch {
-	case *micro != 0 && *app != "":
-		fail("choose one workload: -app or -microbench, not both")
+	case selected > 1:
+		fail("choose one workload: -app, -microbench, or -workload, not both")
 	case *micro != 0:
 		// Negative and non-power-of-two sizes reach the builder so the
 		// user sees its precise validation error, not the generic usage.
@@ -129,8 +155,13 @@ func main() {
 		if err == nil {
 			kernel, err = subwarpsim.BuildMegakernel(profile)
 		}
+	case *workloadFlag != "":
+		// Unknown names reach the registry so the error enumerates the
+		// registered families.
+		workloadID = "gen/" + *workloadFlag
+		kernel, err = subwarpsim.BuildWorkload(*workloadFlag)
 	default:
-		fail("choose a workload: -app <name> or -microbench <subwarp size>")
+		fail("choose a workload: -app <name>, -microbench <subwarp size>, or -workload <family>")
 	}
 	if err != nil {
 		fail("%v", err)
@@ -246,8 +277,8 @@ func main() {
 	if cached {
 		fmt.Printf("cache     hit %s\n", key)
 	}
-	fmt.Printf("config    %s, L1 miss %d cy, %d warp slots/block\n",
-		cfg.PolicyName(), cfg.L1MissLatency, cfg.WarpSlotsPerBlock)
+	fmt.Printf("config    %s, %s sched, L1 miss %d cy, %d warp slots/block\n",
+		cfg.PolicyName(), cfg.SchedPolicy, cfg.L1MissLatency, cfg.WarpSlotsPerBlock)
 	fmt.Printf("cycles    %d\n", c.Cycles)
 	if !cached && wall > 0 {
 		fmt.Printf("wall      %v (%.0f sim-cycles/sec)\n",

@@ -53,6 +53,9 @@ func TestCLIErrorPaths(t *testing.T) {
 		"negative microbench": {[]string{"-microbench", "-3"}, "-3"},
 		"odd microbench":      {[]string{"-microbench", "5"}, "5"},
 		"both workloads":      {[]string{"-app", "BFV1", "-microbench", "4"}, "not both"},
+		"app and workload":    {[]string{"-app", "BFV1", "-workload", "gemm"}, "not both"},
+		"unknown workload":    {[]string{"-workload", "nosuch"}, "nosuch"},
+		"bad policy":          {[]string{"-microbench", "4", "-policy", "fifo"}, "fifo"},
 		"bad order":           {[]string{"-microbench", "4", "-order", "sideways"}, "sideways"},
 		"bad trigger":         {[]string{"-microbench", "4", "-si", "-trigger", "most"}, "most"},
 		"bad trace warps":     {[]string{"-microbench", "4", "-trace", "/dev/null", "-trace-warps", "x"}, "trace-warps"},
@@ -75,6 +78,68 @@ func TestCLIErrorPaths(t *testing.T) {
 				t.Errorf("failed run must not print a result table:\n%s", stdout)
 			}
 		})
+	}
+}
+
+// TestCLIWorkloadMenu pins the dynamic -workload enumeration: the
+// usage text, the -listapps catalog, and the unknown-name error must
+// all list every registered generator family, so none of them can go
+// stale as families are added (the old usage text only mentioned the
+// raytracing traces).
+func TestCLIWorkloadMenu(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the CLI binary")
+	}
+	bin := buildCLI(t)
+	families := []string{"bfs", "gemm", "texture"}
+
+	_, usage, code := runCLI(t, bin, "-h")
+	if code != 0 {
+		t.Fatalf("-h exit code = %d, want 0 (flag.ErrHelp)", code)
+	}
+	for _, f := range families {
+		if !strings.Contains(usage, f) {
+			t.Errorf("usage text must enumerate family %q:\n%s", f, usage)
+		}
+	}
+
+	list, stderr, code := runCLI(t, bin, "-listapps")
+	if code != 0 {
+		t.Fatalf("-listapps failed: %s", stderr)
+	}
+	for _, f := range families {
+		if !strings.Contains(list, f) {
+			t.Errorf("-listapps must include family %q:\n%s", f, list)
+		}
+	}
+
+	_, stderr, code = runCLI(t, bin, "-workload", "nosuch")
+	if code != 1 {
+		t.Fatalf("unknown workload exit code = %d, want 1", code)
+	}
+	for _, f := range families {
+		if !strings.Contains(stderr, f) {
+			t.Errorf("unknown-workload error must enumerate %q: %s", f, stderr)
+		}
+	}
+}
+
+// TestCLIWorkloadPolicyRun: a generator family runs end to end under a
+// non-default scheduler policy, and the config line reports the policy.
+func TestCLIWorkloadPolicyRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the CLI binary")
+	}
+	bin := buildCLI(t)
+	stdout, stderr, code := runCLI(t, bin,
+		"-workload", "gemm", "-policy", "gto", "-si", "-timeout", "2m")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr)
+	}
+	for _, want := range []string{"kernel", "cycles", "gto sched"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("output missing %q:\n%s", want, stdout)
+		}
 	}
 }
 

@@ -6,6 +6,7 @@ package config
 import (
 	"errors"
 	"fmt"
+	"strings"
 
 	"subwarpsim/internal/faults"
 	"subwarpsim/internal/trace"
@@ -57,6 +58,66 @@ func (t SelectTrigger) Satisfied(stalled, live int) bool {
 		return stalled >= live
 	default:
 		return false
+	}
+}
+
+// SchedPolicy selects the warp-scheduler arbitration rule each
+// processing block uses to pick the next issuing warp. Every policy is
+// greedy on the last-issued warp (it keeps issuing while it can) and
+// deterministic over the block's frozen warp statuses; policies differ
+// only in which warp they fall back to when the greedy warp stalls.
+// That stickiness is load-bearing: the compiled engine's basic-block
+// fast-forward assumes a re-pick of the same warp over unchanged
+// statuses (see internal/sm/compiled.go and DESIGN §15).
+type SchedPolicy int
+
+const (
+	// SchedLRR is loose round-robin: on a stall, scan the warp slots
+	// circularly starting after the last-issued slot and take the first
+	// ready one. This is bit-identical to the pre-zoo scheduler and is
+	// the default.
+	SchedLRR SchedPolicy = iota
+	// SchedGTO is greedy-then-oldest: on a stall, fall back to the
+	// ready warp with the lowest warp ID (IDs are assigned in admission
+	// order, so lowest ID = oldest).
+	SchedGTO
+	// SchedWaSP is a WaSP-style phase-offset policy (Zhang et al.,
+	// PAPERS.md): warp slots are statically striped into phase groups
+	// and earlier groups always win arbitration, so leader warps run
+	// ahead of the pack and warm caches for the trailing groups;
+	// within a group, arbitration is round-robin.
+	SchedWaSP
+
+	// NumSchedPolicies bounds the valid SchedPolicy values.
+	NumSchedPolicies = int(SchedWaSP) + 1
+)
+
+// String returns the conventional short name for the policy.
+func (p SchedPolicy) String() string {
+	switch p {
+	case SchedLRR:
+		return "lrr"
+	case SchedGTO:
+		return "gto"
+	case SchedWaSP:
+		return "wasp"
+	default:
+		return fmt.Sprintf("SchedPolicy(%d)", int(p))
+	}
+}
+
+// ParseSchedPolicy maps a CLI/API policy name onto the config
+// constant. The empty string parses as the LRR default.
+func ParseSchedPolicy(name string) (SchedPolicy, error) {
+	switch strings.ToLower(name) {
+	case "", "lrr":
+		return SchedLRR, nil
+	case "gto":
+		return SchedGTO, nil
+	case "wasp":
+		return SchedWaSP, nil
+	default:
+		return 0, fmt.Errorf("unknown scheduler policy %q (lrr, gto, wasp)", name)
 	}
 }
 
@@ -149,6 +210,10 @@ type Config struct {
 
 	// Scheduling.
 	Order SubwarpOrder // divergent-branch activation order
+	// SchedPolicy is the warp-scheduler arbitration rule (default
+	// SchedLRR, the pre-zoo behaviour). The result cache keys it only
+	// when it differs from LRR, so existing cache entries stay valid.
+	SchedPolicy SchedPolicy
 
 	// Compiled selects the execution engine, not the architecture:
 	// when true (the default) each program is lowered once into a
@@ -286,6 +351,8 @@ func (c Config) Validate() error {
 		return errors.New("config: MathLatency must be positive")
 	case c.RegFilePerBlock <= 0:
 		return errors.New("config: RegFilePerBlock must be positive")
+	case c.SchedPolicy < 0 || int(c.SchedPolicy) >= NumSchedPolicies:
+		return errors.New("config: SchedPolicy out of range")
 	}
 	if c.SI.Enabled {
 		if c.SI.SwitchLatency < 0 {

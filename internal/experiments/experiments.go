@@ -39,6 +39,15 @@ type Options struct {
 	// the golden corpus is checked in both modes — so this is a
 	// verification and debugging knob, not a result knob.
 	Interpret bool
+	// SchedPolicy overrides the warp-scheduler policy for every
+	// simulation when set to a non-LRR value (the -policy flag). The
+	// matrix experiment, which enumerates policies itself, narrows its
+	// policy axis to the override instead, so the two compose.
+	SchedPolicy config.SchedPolicy
+	// Workloads narrows the matrix experiment's workload-family axis
+	// to the named generators (the -workload flag); empty means all
+	// registered families.
+	Workloads []string
 }
 
 func (o Options) workers() int {
@@ -103,6 +112,7 @@ func All() []Experiment {
 		{ID: "order", Title: "Ablation: divergent-path activation order (Section VI)", Run: Order},
 		{ID: "yield", Title: "Ablation: subwarp-yield threshold (Section III-B)", Run: Yield},
 		{ID: "dws", Title: "Extension: SI vs Dynamic Warp Subdivision (Section VII-B)", Run: DWS},
+		{ID: "matrix", Title: "Workload-family x scheduler-policy x SI cross matrix", Run: Matrix},
 	}
 }
 
@@ -174,6 +184,9 @@ func runJobs(o Options, jobs []job) (map[string]gpu.Result, error) {
 			cfg := j.cfg
 			if o.Interpret {
 				cfg.Compiled = false
+			}
+			if o.SchedPolicy != config.SchedLRR {
+				cfg.SchedPolicy = o.SchedPolicy
 			}
 			k, err := j.mk()
 			if err == nil {

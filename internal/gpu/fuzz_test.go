@@ -19,11 +19,17 @@ const fuzzMaxCycles = 500_000
 // terminating kernel program. Byte by byte it picks from a menu of ALU
 // ops, scoreboarded loads/textures with consumers, private-slot
 // stores, lane-predicated divergence regions (BSSY/@!P BRA/BSYNC),
-// bounded lane-divergent loops, and BRX jump-table dispatches whose
-// lanes scatter over 2 or 4 reconverging case bodies. Register,
+// bounded lane-divergent loops, BRX jump-table dispatches whose
+// lanes scatter over 2 or 4 reconverging case bodies, and BFS-style
+// data-dependent loops whose trip count comes from memory (including a
+// frontier-empty pre-test that skips the walk entirely). Register,
 // predicate, barrier, and scoreboard indices are reduced into valid
 // ranges by construction, so any input yields a program Build accepts;
-// interesting inputs differ in control structure, not validity. TRACE
+// interesting inputs differ in control structure, not validity. Every
+// divergent construct arms a convergence barrier before it branches —
+// the structural guarantee real compilers provide — because
+// unstructured fragmentation lets warp fragments re-arm reused barrier
+// indices at skewed program points and cross-block at BSYNC. TRACE
 // stays excluded — RT-core state needs coordinated setup the generator
 // doesn't model.
 func fuzzProgram(data []byte) (*isa.Program, error) {
@@ -58,7 +64,7 @@ func fuzzProgram(data []byte) (*isa.Program, error) {
 	sb := 0
 	for op := 0; op < 64 && pos < len(data); op++ {
 		c := next()
-		switch c % 11 {
+		switch c % 12 {
 		case 0:
 			b.Iadd(reg(next()), reg(next()), reg(next()))
 		case 1:
@@ -99,15 +105,37 @@ func fuzzProgram(data []byte) (*isa.Program, error) {
 			b.Bsync(r.bar)
 		case 8: // bounded loop with lane-divergent trip counts
 			loop := fmt.Sprintf("loop%d", labels)
-			labels++
 			ctr := reg(next())
 			b.Movi(ctr, 3)
+			if len(open) >= 4 {
+				// No convergence barrier free: emit the loop with a
+				// uniform trip count. Divergent trip counts are only
+				// legal under an armed barrier — a splinter that
+				// outlives the loop leaves the warp permanently
+				// fragmented, and fragments that later re-arm a reused
+				// barrier index at skewed points cross-block at BSYNC
+				// (the structural guarantee real compilers provide by
+				// emitting BSSY before every divergent branch).
+				labels++
+				b.Iaddi(ctr, ctr, int32(next()%3)+1)
+				b.Label(loop)
+				b.Iaddi(ctr, ctr, -1)
+				b.Isetpi(isa.CmpGT, 3, ctr, 0)
+				b.BraP(3, false, loop)
+				break
+			}
+			bar := uint8(len(open))
+			join := fmt.Sprintf("loopjoin%d", labels)
+			labels++
 			b.Iand(ctr, 0, ctr)
 			b.Iaddi(ctr, ctr, int32(next()%3)+1)
+			b.Bssy(bar, join)
 			b.Label(loop)
 			b.Iaddi(ctr, ctr, -1)
 			b.Isetpi(isa.CmpGT, 3, ctr, 0)
 			b.BraP(3, false, loop)
+			b.Label(join)
+			b.Bsync(bar)
 		case 9:
 			b.Yield()
 		case 10: // BRX jump-table dispatch over reconverging case bodies
@@ -132,6 +160,32 @@ func fuzzProgram(data []byte) (*isa.Program, error) {
 				b.Bra(join)
 				b.Nop() // pad to caseLen
 			}
+			b.Label(join)
+			b.Bsync(bar)
+		case 11: // BFS-style data-dependent loop with frontier-empty pre-test
+			if len(open) >= 4 {
+				break
+			}
+			bar := uint8(len(open))
+			join := fmt.Sprintf("ddjoin%d", labels)
+			loop := fmt.Sprintf("ddloop%d", labels)
+			labels++
+			// Per-lane trip count from memory: lane & loaded value, masked
+			// to 0..3, so counts are data-dependent, lane-divergent, and
+			// often zero (the frontier-empty boundary).
+			cnt := reg(next())
+			b.Ldg(cnt, 3, int32(next()%64)*4, sb)
+			b.Iand(cnt, 0, cnt).Req(sb)
+			sb = (sb + 1) % isa.NumBarriers
+			b.Shl(cnt, cnt, 30)
+			b.Shr(cnt, cnt, 30)
+			b.Isetpi(isa.CmpGT, 4, cnt, 0)
+			b.Bssy(bar, join)
+			b.BraP(4, true, join) // empty-frontier lanes skip the walk
+			b.Label(loop)
+			b.Iaddi(cnt, cnt, -1)
+			b.Isetpi(isa.CmpGT, 4, cnt, 0)
+			b.BraP(4, false, loop)
 			b.Label(join)
 			b.Bsync(bar)
 		}
@@ -186,11 +240,34 @@ func FuzzRun(f *testing.F) {
 		255, 6, 6, 6, 6, 3, 10, 7, 7, 7, 7, 5,
 	})
 
+	// Seeds stressing the scheduler-policy zoo.
+	f.Add([]byte{ // many warps + back-to-back scoreboard chains: GTO keeps
+		// re-picking the oldest warp while younger ones sit load-stalled
+		// (the starvation edge LRR's circular scan never exhibits)
+		0x4b, 3, 1, 3, 2, 3, 5, 3, 0, 3, 4, 3, 1, 3, 2,
+	})
+	f.Add([]byte{ // data-dependent loops (c%12==11): frontier-empty lanes
+		// skip past the walk while sibling lanes iterate
+		0x26, 11, 0, 4, 23, 8, 2, 11, 1, 5,
+	})
+	f.Add([]byte{ // empty-frontier boundary back to back with divergence regions
+		0x3a, 11, 2, 63, 6, 1, 11, 3, 0, 7, 5,
+	})
+
 	// tinyTST caps the TST at 2 entries so generated divergence can
 	// overflow it (the overflow path leaves the subwarp waiting in
 	// place, which fast-forward must reproduce cycle-exactly).
 	tinyTST := config.Default().WithSI(true, config.TriggerAnyStalled)
 	tinyTST.SI.MaxSubwarps = 2
+
+	// The scheduler-policy zoo: GTO's oldest-first fallback can starve
+	// young ready warps behind a long-latency veteran, and the WaSP-style
+	// phase policy deliberately runs its leader group ahead; both must
+	// stay deterministic and engine-identical like LRR.
+	gto := config.Default()
+	gto.SchedPolicy = config.SchedGTO
+	waspSI := config.Default().WithSI(true, config.TriggerHalfStalled)
+	waspSI.SchedPolicy = config.SchedWaSP
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) == 0 {
@@ -217,6 +294,8 @@ func FuzzRun(f *testing.F) {
 			config.Default(),
 			config.Default().WithSI(true, config.TriggerHalfStalled),
 			tinyTST,
+			gto,
+			waspSI,
 		} {
 			seqRes, seqFP, seqErr := run(cfg, 1)
 			parRes, parFP, parErr := run(cfg, 4)

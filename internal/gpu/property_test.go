@@ -17,7 +17,7 @@ import (
 
 // propBytes derives a deterministic byte stream for fuzzProgram.
 // allowDivergence=false restricts control bytes to the straight-line
-// menu entries (ALU, loads, textures, stores: c%11 in 0..5), so the
+// menu entries (ALU, loads, textures, stores: c%12 in 0..5), so the
 // generated kernel never splinters a warp.
 func propBytes(seed int64, n int, allowDivergence bool) []byte {
 	r := rand.New(rand.NewSource(seed))
@@ -26,9 +26,9 @@ func propBytes(seed int64, n int, allowDivergence bool) []byte {
 		if allowDivergence {
 			data[i] = byte(r.Intn(256))
 		} else {
-			// Uniform over {v < 248 : v%11 <= 5}; valid for control and
+			// Uniform over {v < 246 : v%12 <= 5}; valid for control and
 			// operand positions alike.
-			data[i] = byte(r.Intn(23)*11 + r.Intn(6))
+			data[i] = byte(r.Intn(21)*12 + r.Intn(6))
 		}
 	}
 	return data
@@ -86,6 +86,30 @@ func TestPropertySITransparencyWithoutDivergence(t *testing.T) {
 			if got.Counters != base.Counters {
 				t.Errorf("seed %d: %s is not transparent without divergence:\n  baseline %+v\n  SI       %+v",
 					seed, name, base.Counters, got.Counters)
+			}
+		}
+	}
+}
+
+// TestPropertyGeneratedProgramsTerminate: every generated program must
+// run to completion without tripping the deadlock detector or the cycle
+// budget. This guards fuzzProgram's structural guarantee that all
+// divergent constructs arm a convergence barrier before branching —
+// without it, warp fragments from an unprotected splinter re-arm reused
+// barrier indices at skewed program points and cross-block at BSYNC.
+func TestPropertyGeneratedProgramsTerminate(t *testing.T) {
+	for seed := int64(0); seed < 16; seed++ {
+		data := propBytes(seed, 48, true)
+		prog, err := fuzzProgram(data[1:])
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for name, cfg := range map[string]config.Config{
+			"baseline": config.Default(),
+			"SI":       config.Default().WithSI(true, config.TriggerHalfStalled),
+		} {
+			if _, err := RunWorkers(cfg, propKernel(t, prog, data[0]), 1); err != nil {
+				t.Errorf("seed %d, %s: %v", seed, name, err)
 			}
 		}
 	}

@@ -511,6 +511,11 @@ func TestSpecValidation(t *testing.T) {
 		{Microbench: 1, SI: true, MaxSubwarps: 2, LatencyCycles: 300, WarpSlots: 16},
 		{Microbench: 4, Compile: "off"},
 		{Microbench: 4, Compile: "ON"},
+		{Workload: "gemm"},
+		{Workload: "bfs", SI: true, Yield: true},
+		{Workload: "texture", Policy: "wasp"},
+		{Microbench: 4, Policy: "gto"},
+		{App: "BFV1", Policy: "LRR"},
 	}
 	for _, spec := range valid {
 		if err := spec.Validate(); err != nil {
@@ -528,6 +533,11 @@ func TestSpecValidation(t *testing.T) {
 		{Microbench: 4, WarpSlots: -2},
 		{App: "NotAnApp"},
 		{Microbench: 4, Compile: "maybe"},
+		{Workload: "nosuch"},
+		{Workload: "gemm", App: "BFV1"},
+		{Workload: "gemm", Microbench: 4},
+		{Workload: "gemm", App: "BFV1", Microbench: 4},
+		{Microbench: 4, Policy: "fifo"},
 	}
 	for _, spec := range invalid {
 		if err := spec.Validate(); err == nil {
@@ -576,6 +586,71 @@ func TestSpecConfigKnobs(t *testing.T) {
 		if cfg.Compiled != want {
 			t.Errorf("Compile=%q → Compiled=%v, want %v", compile, cfg.Compiled, want)
 		}
+	}
+
+	for policy, want := range map[string]config.SchedPolicy{
+		"": config.SchedLRR, "lrr": config.SchedLRR,
+		"gto": config.SchedGTO, "wasp": config.SchedWaSP,
+	} {
+		cfg, err := JobSpec{Microbench: 4, Policy: policy}.Config()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cfg.SchedPolicy != want {
+			t.Errorf("Policy=%q → SchedPolicy=%v, want %v", policy, cfg.SchedPolicy, want)
+		}
+	}
+}
+
+// TestSpecWorkloadGenerators checks the generator-family workload kind:
+// kernels build, and the cache-key workload ID is namespaced away from
+// apps and microbenchmarks.
+func TestSpecWorkloadGenerators(t *testing.T) {
+	spec := JobSpec{Workload: "gemm", Policy: "gto"}
+	if got := spec.WorkloadID(); got != "gen/gemm" {
+		t.Errorf("WorkloadID = %q, want gen/gemm", got)
+	}
+	k, err := spec.BuildKernel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k == nil || len(k.Program.Code) == 0 {
+		t.Fatal("BuildKernel returned an empty kernel")
+	}
+	if _, err := (JobSpec{Workload: "nosuch"}).BuildKernel(); err == nil {
+		t.Error("unknown generator must fail to build")
+	}
+}
+
+// TestServiceWorkloadPolicyJobs drives generator-family jobs through
+// the HTTP surface: the scheduler policy must key the cache (LRR and
+// GTO runs of the same family are distinct entries) and an unknown
+// family must be a client error, not a 500.
+func TestServiceWorkloadPolicyJobs(t *testing.T) {
+	s := newTestServer(t, Options{Workers: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	lrr, code := postJob(t, ts, JobSpec{Workload: "bfs"})
+	if code != http.StatusOK {
+		t.Fatalf("lrr POST = %d", code)
+	}
+	gto, code := postJob(t, ts, JobSpec{Workload: "bfs", Policy: "gto"})
+	if code != http.StatusOK {
+		t.Fatalf("gto POST = %d", code)
+	}
+	if lrr.Key == gto.Key {
+		t.Error("scheduler policy must be part of the cache key")
+	}
+	if gto.Cached {
+		t.Error("a never-run policy cell cannot hit the cache")
+	}
+	if lrr.Counters.Cycles == 0 || gto.Counters.Cycles == 0 {
+		t.Fatalf("empty counters: lrr %+v gto %+v", lrr.Counters, gto.Counters)
+	}
+
+	if _, code := postJob(t, ts, JobSpec{Workload: "nosuch"}); code != http.StatusBadRequest {
+		t.Errorf("unknown workload POST = %d, want %d", code, http.StatusBadRequest)
 	}
 }
 

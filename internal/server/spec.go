@@ -10,16 +10,20 @@ import (
 )
 
 // JobSpec is the wire form of one simulation job: a workload (an
-// application trace name or a microbenchmark subwarp size) plus the
-// architecture/policy knobs the sisim CLI exposes. The zero value of
-// every knob means "paper default".
+// application trace name, a microbenchmark subwarp size, or a
+// registered workload-family name) plus the architecture/policy knobs
+// the sisim CLI exposes. The zero value of every knob means "paper
+// default".
 type JobSpec struct {
 	// App names an application trace (see workload.AppNames).
-	// Exactly one of App and Microbench must be set.
+	// Exactly one of App, Microbench, and Workload must be set.
 	App string `json:"app,omitempty"`
 	// Microbench runs the divergence microbenchmark with this subwarp
 	// size (1, 2, 4, 8, 16, or 32).
 	Microbench int `json:"microbench,omitempty"`
+	// Workload names a registered synthetic workload family
+	// (see workload.GeneratorNames: "gemm", "bfs", "texture", ...).
+	Workload string `json:"workload,omitempty"`
 
 	// SI enables Subwarp Interleaving; DWS models Dynamic Warp
 	// Subdivision instead (mutually exclusive with SI).
@@ -39,6 +43,9 @@ type JobSpec struct {
 	// Order is the divergent-path activation order: "taken" (default),
 	// "fallthrough", "largest", or "random".
 	Order string `json:"order,omitempty"`
+	// Policy is the warp-scheduler arbitration rule: "lrr" (default),
+	// "gto", or "wasp".
+	Policy string `json:"policy,omitempty"`
 	// Compile selects the execution engine: "on" (pre-decoded streams
 	// with basic-block fast-forward), "off" (the per-cycle
 	// interpreter), or "" for the server's default. The engines are
@@ -94,13 +101,35 @@ func ParseCompile(name string) (bool, error) {
 	}
 }
 
+// ParsePolicy maps a CLI/API scheduler-policy name onto the config
+// constant. The empty string means "default" and parses as LRR.
+func ParsePolicy(name string) (config.SchedPolicy, error) {
+	return config.ParseSchedPolicy(name)
+}
+
+// workloadCount counts how many of the three workload selectors the
+// spec sets; exactly one must be.
+func (j JobSpec) workloadCount() int {
+	n := 0
+	if j.App != "" {
+		n++
+	}
+	if j.Microbench != 0 {
+		n++
+	}
+	if j.Workload != "" {
+		n++
+	}
+	return n
+}
+
 // Validate reports the first problem with the spec.
 func (j JobSpec) Validate() error {
 	switch {
-	case j.App == "" && j.Microbench == 0:
-		return fmt.Errorf("spec needs a workload: set app or microbench")
-	case j.App != "" && j.Microbench != 0:
-		return fmt.Errorf("spec sets both app and microbench; pick one")
+	case j.workloadCount() == 0:
+		return fmt.Errorf("spec needs a workload: set app, microbench, or workload")
+	case j.workloadCount() > 1:
+		return fmt.Errorf("spec sets more than one of app, microbench, and workload; pick one")
 	case j.Microbench < 0:
 		return fmt.Errorf("microbench subwarp size %d must be positive", j.Microbench)
 	case j.SI && j.DWS:
@@ -108,14 +137,26 @@ func (j JobSpec) Validate() error {
 	case j.LatencyCycles < 0 || j.WarpSlots < 0 || j.MaxSubwarps < 0 || j.TimeoutMS < 0:
 		return fmt.Errorf("negative knob values are invalid")
 	}
-	if j.App != "" {
+	switch {
+	case j.App != "":
 		if _, err := workload.ProfileByName(j.App); err != nil {
 			return err
 		}
-	} else if err := workload.DefaultMicrobench(j.Microbench).Validate(); err != nil {
-		return err
+	case j.Workload != "":
+		// Generators validate their (default) parameters at build time;
+		// here only the name needs to resolve.
+		if _, err := workload.GeneratorByName(j.Workload); err != nil {
+			return err
+		}
+	default:
+		if err := workload.DefaultMicrobench(j.Microbench).Validate(); err != nil {
+			return err
+		}
 	}
 	if _, err := ParseTrigger(j.Trigger); err != nil {
+		return err
+	}
+	if _, err := ParsePolicy(j.Policy); err != nil {
 		return err
 	}
 	if _, err := ParseOrder(j.Order); err != nil {
@@ -142,6 +183,8 @@ func (j JobSpec) Config() (config.Config, error) {
 	}
 	order, _ := ParseOrder(j.Order)
 	cfg.Order = order
+	policy, _ := ParsePolicy(j.Policy)
+	cfg.SchedPolicy = policy
 	compiled, _ := ParseCompile(j.Compile)
 	cfg.Compiled = compiled
 	if j.DWS {
@@ -158,21 +201,29 @@ func (j JobSpec) Config() (config.Config, error) {
 // Kernels carry mutable functional state, so every simulation needs
 // its own.
 func (j JobSpec) BuildKernel() (*sm.Kernel, error) {
-	if j.App != "" {
+	switch {
+	case j.App != "":
 		p, err := workload.ProfileByName(j.App)
 		if err != nil {
 			return nil, err
 		}
 		return workload.Megakernel(p)
+	case j.Workload != "":
+		return workload.BuildByName(j.Workload)
+	default:
+		return workload.Microbench(workload.DefaultMicrobench(j.Microbench))
 	}
-	return workload.Microbench(workload.DefaultMicrobench(j.Microbench))
 }
 
 // WorkloadID is the workload half of the cache key: a stable name for
 // how BuildKernel constructs the kernel.
 func (j JobSpec) WorkloadID() string {
-	if j.App != "" {
+	switch {
+	case j.App != "":
 		return "app/" + j.App
+	case j.Workload != "":
+		return "gen/" + j.Workload
+	default:
+		return fmt.Sprintf("micro/%d", j.Microbench)
 	}
-	return fmt.Sprintf("micro/%d", j.Microbench)
 }

@@ -108,6 +108,14 @@ func writeCanonicalConfig(w io.Writer, c config.Config) {
 	fmt.Fprintf(w, "si=%t;yield=%t;yieldThresh=%d;trigger=%d;maxSub=%d;switch=%d;dws=%t;",
 		c.SI.Enabled, c.SI.Yield, c.SI.YieldThreshold, c.SI.Trigger,
 		c.SI.MaxSubwarps, c.SI.SwitchLatency, c.SI.DWS)
+	// SchedPolicy is keyed only when it differs from LRR: the LRR
+	// policy is bit-identical to the pre-zoo scheduler (pinned by the
+	// golden corpus), so omitting the default keeps every previously
+	// written cache entry valid, while any other policy — which does
+	// change results — gets its own key space.
+	if c.SchedPolicy != config.SchedLRR {
+		fmt.Fprintf(w, "sched=%d;", c.SchedPolicy)
+	}
 }
 
 // Stats counts cache traffic. Corrupt counts entries rejected (and

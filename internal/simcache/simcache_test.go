@@ -50,6 +50,31 @@ func TestKeySensitivity(t *testing.T) {
 	}
 }
 
+// TestKeySchedPolicy pins the conditional keying rule: the default
+// LRR policy must hash identically to a config that predates the
+// SchedPolicy field (so the existing cache corpus stays valid), while
+// GTO and WaSP — which change results — must key differently.
+func TestKeySchedPolicy(t *testing.T) {
+	base := microKernelKey(t, config.Default(), 4, "micro/4")
+
+	lrr := config.Default()
+	lrr.SchedPolicy = config.SchedLRR
+	if k := microKernelKey(t, lrr, 4, "micro/4"); k != base {
+		t.Error("explicit LRR must not change the key (cache-compatibility rule)")
+	}
+
+	seen := map[Key]string{base: "lrr"}
+	for _, p := range []config.SchedPolicy{config.SchedGTO, config.SchedWaSP} {
+		cfg := config.Default()
+		cfg.SchedPolicy = p
+		k := microKernelKey(t, cfg, 4, "micro/4")
+		if prev, dup := seen[k]; dup {
+			t.Errorf("policy %v collides with %s", p, prev)
+		}
+		seen[k] = p.String()
+	}
+}
+
 func TestKeyParseRoundTrip(t *testing.T) {
 	k := microKernelKey(t, config.Default(), 2, "micro/2")
 	parsed, err := ParseKey(k.String())

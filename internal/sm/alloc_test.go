@@ -41,23 +41,30 @@ func loadLoop(n int) *isa.Program {
 
 // TestBlockStepSteadyStateZeroAlloc pins the tentpole's core claim:
 // once warmed up, a cycle of the scheduler loop on an ALU-only kernel
-// performs zero heap allocations.
+// performs zero heap allocations — under every scheduler policy, since
+// policies are stateless singletons whose Pick must not allocate.
 func TestBlockStepSteadyStateZeroAlloc(t *testing.T) {
-	s := allocSM(t, testConfig(), straightLine(20000), 4)
-	blk := s.blocks[0]
-	now := int64(0)
-	for ; now < 512; now++ {
-		blk.step(now)
-	}
-	avg := testing.AllocsPerRun(200, func() {
-		blk.step(now)
-		now++
-	})
-	if avg != 0 {
-		t.Fatalf("steady-state Block.step allocates %.1f times per cycle, want 0", avg)
-	}
-	if blk.done {
-		t.Fatal("kernel finished inside the measured window; enlarge the program")
+	for p := config.SchedPolicy(0); int(p) < config.NumSchedPolicies; p++ {
+		t.Run(p.String(), func(t *testing.T) {
+			cfg := testConfig()
+			cfg.SchedPolicy = p
+			s := allocSM(t, cfg, straightLine(20000), 4)
+			blk := s.blocks[0]
+			now := int64(0)
+			for ; now < 512; now++ {
+				blk.step(now)
+			}
+			avg := testing.AllocsPerRun(200, func() {
+				blk.step(now)
+				now++
+			})
+			if avg != 0 {
+				t.Fatalf("steady-state Block.step allocates %.1f times per cycle, want 0", avg)
+			}
+			if blk.done {
+				t.Fatal("kernel finished inside the measured window; enlarge the program")
+			}
+		})
 	}
 }
 

@@ -80,6 +80,7 @@ type Block struct {
 	rng     *rand.Rand
 
 	lastIssued int
+	policy     Policy
 	counters   stats.Counters
 	done       bool
 
@@ -142,6 +143,7 @@ func newBlock(id int, cfg config.Config, owner *SM) *Block {
 		cops:     owner.cops,
 		ffLen:    owner.ffLen,
 		lastPick: -1,
+		policy:   policyFor(cfg.SchedPolicy),
 	}
 }
 
@@ -498,25 +500,14 @@ func (b *Block) maybeTriggerSelect(now int64) {
 	}
 }
 
-// issue picks one ready warp (greedy, then round-robin) and executes
+// issue asks the scheduler policy for one ready warp (greedy on the
+// last-issued warp, policy-specific fallback on a stall) and executes
 // its next instruction.
 func (b *Block) issue(now int64) bool {
-	n := len(b.warps)
-	if n == 0 {
+	if len(b.warps) == 0 {
 		return false
 	}
-	pick := -1
-	if b.lastIssued < n && b.statuses[b.lastIssued] == classCanIssue {
-		pick = b.lastIssued
-	} else {
-		for off := 1; off <= n; off++ {
-			i := (b.lastIssued + off) % n
-			if b.statuses[i] == classCanIssue {
-				pick = i
-				break
-			}
-		}
-	}
+	pick := b.policy.Pick(b)
 	if pick < 0 {
 		return false
 	}

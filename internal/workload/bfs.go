@@ -1,0 +1,200 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"subwarpsim/internal/isa"
+	"subwarpsim/internal/mem"
+	"subwarpsim/internal/sm"
+)
+
+// BFSParams configures the irregular-traversal family: a BFS-style
+// frontier-expansion kernel over a seeded random graph in CSR-like
+// form (a degree array plus a fixed-stride edge array). Each level,
+// every lane claims a node, loads its degree, and branches three ways
+// on it: zero-degree lanes skip straight to the reconvergence barrier
+// (the frontier-empty boundary), low-degree lanes take a light
+// expansion arm, high-degree lanes a heavy one. Both arms walk the
+// adjacency row with serial load-to-use chains, so when one diverged
+// subwarp stalls on a miss its siblings have independent memory work
+// to interleave — the SI stress case — and per-lane trip counts
+// splinter the warp further on every loop back-edge.
+type BFSParams struct {
+	// Seed drives the graph's degree and edge content.
+	Seed int64
+	// Nodes is the graph size; must be a power of two (node indices
+	// are computed with a mask).
+	Nodes int
+	// MaxDegree bounds each node's adjacency-list length; the edge
+	// array stride.
+	MaxDegree int
+	// HeavyDegree is the degree at or above which a lane takes the
+	// heavy arm (full row walk) instead of the light one (every other
+	// neighbor).
+	HeavyDegree int
+	// Levels is the number of frontier-expansion rounds.
+	Levels int
+	// NumWarps is the total warps launched.
+	NumWarps int
+}
+
+// DefaultBFS fills one wave of the default 64 warp slots over a graph
+// whose edge array (192 KB) exceeds the 128 KB L1D, keeping misses in
+// steady state.
+func DefaultBFS() BFSParams {
+	return BFSParams{
+		Seed:        7,
+		Nodes:       4096,
+		MaxDegree:   12,
+		HeavyDegree: 7,
+		Levels:      4,
+		NumWarps:    64,
+	}
+}
+
+// Validate reports the first invalid parameter.
+func (p BFSParams) Validate() error {
+	switch {
+	case p.Nodes <= 0 || p.Nodes&(p.Nodes-1) != 0:
+		return fmt.Errorf("workload: Nodes %d must be a positive power of two", p.Nodes)
+	case p.MaxDegree <= 0:
+		return fmt.Errorf("workload: MaxDegree must be positive")
+	case p.HeavyDegree <= 0 || p.HeavyDegree > p.MaxDegree:
+		return fmt.Errorf("workload: HeavyDegree %d must be in [1, MaxDegree]", p.HeavyDegree)
+	case p.Levels <= 0:
+		return fmt.Errorf("workload: Levels must be positive")
+	case p.NumWarps <= 0:
+		return fmt.Errorf("workload: NumWarps must be positive")
+	}
+	return nil
+}
+
+// BFS graph arrays, disjoint from the other workloads' address spaces.
+const (
+	bfsDegBase  = 0x0500_0000
+	bfsEdgeBase = 0x0600_0000
+	bfsOutBase  = 0x0700_0000
+)
+
+// BFS assembles the frontier-expansion kernel and seeds the graph.
+//
+// Register map: R0 lane, R1 global tid, R2 level, R3 node, R4 degree,
+// R5 neighbor index, R6 address scratch, R7 loaded edge value, R8
+// accumulator, R9 edge-row base, R10 node mask.
+func BFS(p BFSParams) (*sm.Kernel, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	threads := int32(p.NumWarps * 32)
+
+	b := isa.NewBuilder("bfs")
+	b.SetRegsPerThread(32)
+
+	b.S2R(0, isa.SRLaneID)
+	b.S2R(1, isa.SRThreadID)
+	b.Movi(10, int32(p.Nodes-1))
+	b.Movi(2, 0) // level
+
+	b.Label("level")
+	// node = (tid + level*threads) & (Nodes-1): each level shifts the
+	// frontier so lanes visit fresh nodes.
+	b.Imuli(3, 2, threads)
+	b.Iadd(3, 3, 1)
+	b.Iand(3, 3, 10)
+	// degree = deg[node]; per-lane scattered load.
+	b.Shl(6, 3, 2)
+	b.Iaddi(6, 6, bfsDegBase)
+	b.Ldg(4, 6, 0, 0)
+	b.Bssy(0, "join")
+	// Frontier-empty boundary: lanes whose node has no neighbors skip
+	// straight to the reconvergence barrier. The predicate consumes the
+	// degree load, so this branch is also the first load-to-use point.
+	b.Isetpi(isa.CmpGT, 1, 4, 0).Req(0)
+	b.BraP(1, true, "join")
+	// Expansion-arm split: heavy rows walk every neighbor, light rows
+	// every other one. Each arm carries its own serial load-to-use
+	// chain, so diverged sibling subwarps hold independent memory work
+	// — what subwarp interleaving exists to overlap.
+	b.Movi(5, 0)
+	b.Imuli(9, 3, int32(4*p.MaxDegree))
+	b.Iaddi(9, 9, bfsEdgeBase)
+	b.Isetpi(isa.CmpGE, 2, 4, int32(p.HeavyDegree))
+	b.BraP(2, false, "heavy")
+
+	// Light arm: edge[node*MaxDegree + i], i += 2.
+	b.Label("lightwalk")
+	b.Shl(6, 5, 2)
+	b.Iadd(6, 6, 9)
+	b.Ldg(7, 6, 0, 1)
+	b.Iadd(8, 8, 7).Req(1) // serial load-to-use chain
+	b.Iaddi(5, 5, 2)
+	// Per-lane trip count: lanes exhaust their rows at different i,
+	// splitting the warp again on every back-edge.
+	b.Isetp(isa.CmpLT, 2, 5, 4)
+	b.BraP(2, false, "lightwalk")
+	b.Bra("join")
+
+	// Heavy arm: edge[node*MaxDegree + i], i += 1.
+	b.Label("heavy")
+	b.Shl(6, 5, 2)
+	b.Iadd(6, 6, 9)
+	b.Ldg(7, 6, 0, 2)
+	b.Imul(8, 8, 7).Req(2) // serial load-to-use chain
+	b.Iadd(8, 8, 7)
+	b.Iaddi(5, 5, 1)
+	b.Isetp(isa.CmpLT, 2, 5, 4)
+	b.BraP(2, false, "heavy")
+
+	b.Label("join")
+	b.Bsync(0)
+	b.Iaddi(2, 2, 1)
+	b.Isetpi(isa.CmpLT, 0, 2, int32(p.Levels))
+	b.BraP(0, false, "level")
+
+	// out[tid] = acc.
+	b.Shl(6, 1, 2)
+	b.Iaddi(6, 6, bfsOutBase)
+	b.Stg(6, 0, 8)
+	b.Exit()
+
+	prog, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	m := mem.NewMemory()
+	seedGraph(m, p)
+	return &sm.Kernel{
+		Program:     prog,
+		NumWarps:    p.NumWarps,
+		WarpsPerCTA: 1,
+		Memory:      m,
+	}, nil
+}
+
+// seedGraph writes the degree and edge arrays. Roughly a third of the
+// nodes get degree zero so warps reliably hit the frontier-empty
+// branch; the rest draw uniformly from [1, MaxDegree].
+func seedGraph(m *mem.Memory, p BFSParams) {
+	rng := rand.New(rand.NewSource(p.Seed))
+	for node := 0; node < p.Nodes; node++ {
+		// Roughly a third empty, the rest uniform over [1, MaxDegree]
+		// so both expansion arms stay populated.
+		deg := rng.Intn(p.MaxDegree+p.MaxDegree/2) + 1
+		if deg > p.MaxDegree {
+			deg = 0
+		}
+		m.Store(bfsDegBase+uint64(4*node), uint32(deg))
+		for j := 0; j < p.MaxDegree; j++ {
+			m.Store(bfsEdgeBase+uint64(4*(node*p.MaxDegree+j)), rng.Uint32())
+		}
+	}
+}
+
+func init() {
+	register(Generator{
+		Name:  "bfs",
+		Title: "irregular traversal: BFS-style frontier expansion, data-dependent branching",
+		Build: func() (*sm.Kernel, error) { return BFS(DefaultBFS()) },
+	})
+}

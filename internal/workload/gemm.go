@@ -1,0 +1,161 @@
+package workload
+
+import (
+	"fmt"
+
+	"subwarpsim/internal/isa"
+	"subwarpsim/internal/mem"
+	"subwarpsim/internal/sm"
+)
+
+// GEMMParams configures the regular-compute family: a tiled GEMM-like
+// kernel in which every warp walks a K-dimension tile loop, issuing
+// one coalesced A-tile load (a distinct line per warp and step), one
+// B-tile load shared by all warps at the same step (high L1D reuse,
+// like a broadcast operand), and a block of independent FMAs that
+// overlap the loads. All branch predicates are warp-uniform loop
+// counters, so the kernel is divergence-free by construction — the
+// control case where Subwarp Interleaving must be cycle-exactly
+// transparent.
+type GEMMParams struct {
+	// NumWarps is the total warps launched.
+	NumWarps int
+	// TilesK is the K-dimension tile count (inner loop trips).
+	TilesK int
+	// MathOps is the number of independent FMAs issued per tile step
+	// while the two tile loads are in flight.
+	MathOps int
+	// BufLog2 is log2 of each operand buffer's byte size; the default
+	// 256 KB exceeds the 128 KB L1D so A-tile lines contend.
+	BufLog2 int
+	// LineBytes must match the simulated cache line size so one A-tile
+	// load coalesces into exactly one line per warp.
+	LineBytes int
+}
+
+// DefaultGEMM fills one wave of the default 64 warp slots with a
+// 32-step tile loop.
+func DefaultGEMM() GEMMParams {
+	return GEMMParams{
+		NumWarps:  64,
+		TilesK:    32,
+		MathOps:   6,
+		BufLog2:   18,
+		LineBytes: 128,
+	}
+}
+
+// Validate reports the first invalid parameter.
+func (p GEMMParams) Validate() error {
+	switch {
+	case p.NumWarps <= 0:
+		return fmt.Errorf("workload: NumWarps must be positive")
+	case p.TilesK <= 0:
+		return fmt.Errorf("workload: TilesK must be positive")
+	case p.MathOps < 0:
+		return fmt.Errorf("workload: MathOps must be non-negative")
+	case p.LineBytes <= 0 || p.LineBytes&(p.LineBytes-1) != 0:
+		return fmt.Errorf("workload: LineBytes must be a positive power of two")
+	case p.BufLog2 < 10 || p.BufLog2 > 28:
+		return fmt.Errorf("workload: BufLog2 %d out of range [10,28]", p.BufLog2)
+	case 1<<p.BufLog2 < 2*p.LineBytes:
+		return fmt.Errorf("workload: operand buffer smaller than two lines")
+	}
+	return nil
+}
+
+// GEMM buffer bases, disjoint from the microbenchmark and megakernel
+// address spaces.
+const (
+	gemmABase = 0x0200_0000
+	gemmBBase = 0x0300_0000
+	gemmCBase = 0x0400_0000
+)
+
+// GEMM assembles the tiled-GEMM-like kernel and seeds both operand
+// buffers deterministically.
+//
+// Register map: R0 lane, R1 global tid, R2 k, R3 warp index, R4
+// lane*4, R5 A address, R6 B address, R7 a, R8 b, R9 accumulator,
+// R10/R11 scratch, R12 line-aligned buffer mask.
+func GEMM(p GEMMParams) (*sm.Kernel, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	bufMask := int32((1<<p.BufLog2 - 1) &^ (p.LineBytes - 1))
+
+	b := isa.NewBuilder("gemm")
+	b.SetRegsPerThread(32)
+
+	b.S2R(0, isa.SRLaneID)
+	b.S2R(1, isa.SRThreadID)
+	b.Shr(3, 1, 5) // warp index = tid >> 5
+	b.Shl(4, 0, 2) // word offset within the tile line
+	b.Movi(12, bufMask)
+	b.Movi(2, 0) // k
+	b.Movi(9, 0) // acc
+
+	b.Label("ktile")
+	// A tile: a distinct line per (warp, k) — streaming operand.
+	b.Imuli(5, 3, int32(p.TilesK))
+	b.Iadd(5, 5, 2)
+	b.Imuli(5, 5, int32(p.LineBytes))
+	b.Iand(5, 5, 12)
+	b.Iadd(5, 5, 4)
+	b.Iaddi(5, 5, gemmABase)
+	b.Ldg(7, 5, 0, 0)
+	// B tile: one line per k shared by every warp — broadcast operand.
+	b.Imuli(6, 2, int32(p.LineBytes))
+	b.Iand(6, 6, 12)
+	b.Iadd(6, 6, 4)
+	b.Iaddi(6, 6, gemmBBase)
+	b.Ldg(8, 6, 0, 1)
+	// Independent FMAs overlap the loads (register-tile arithmetic).
+	for i := 0; i < p.MathOps; i++ {
+		b.Ffma(10, 10, 10, 10)
+	}
+	// Consume: the load-to-use points for both scoreboards.
+	b.Iadd(11, 7, 7).Req(0)
+	b.Ffma(9, 7, 8, 9).Req(1)
+	// Warp-uniform trip count: no divergence anywhere in the kernel.
+	b.Iaddi(2, 2, 1)
+	b.Isetpi(isa.CmpLT, 0, 2, int32(p.TilesK))
+	b.BraP(0, false, "ktile")
+
+	// C[tid] = acc.
+	b.Shl(10, 1, 2)
+	b.Iaddi(10, 10, gemmCBase)
+	b.Stg(10, 0, 9)
+	b.Exit()
+
+	prog, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	m := mem.NewMemory()
+	seedBuffer(m, gemmABase, 1<<p.BufLog2, 0x9E37_79B1)
+	seedBuffer(m, gemmBBase, 1<<p.BufLog2, 0x85EB_CA6B)
+	return &sm.Kernel{
+		Program:     prog,
+		NumWarps:    p.NumWarps,
+		WarpsPerCTA: 1,
+		Memory:      m,
+	}, nil
+}
+
+// seedBuffer fills a byte range with a deterministic word pattern so
+// loaded values (and hence the memory fingerprint) depend on the
+// access pattern, not just the store addresses.
+func seedBuffer(m *mem.Memory, base uint64, bytes int, mult uint32) {
+	for i := 0; i < bytes/4; i++ {
+		m.Store(base+uint64(4*i), (uint32(i)+1)*mult)
+	}
+}
+
+func init() {
+	register(Generator{
+		Name:  "gemm",
+		Title: "regular compute: tiled GEMM-like loop, divergence-free",
+		Build: func() (*sm.Kernel, error) { return GEMM(DefaultGEMM()) },
+	})
+}

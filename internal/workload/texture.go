@@ -1,0 +1,179 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"subwarpsim/internal/isa"
+	"subwarpsim/internal/mem"
+	"subwarpsim/internal/sm"
+)
+
+// TextureParams configures the graphics family: a shading-style kernel
+// that mixes latency classes the way a pixel shader does. Each
+// iteration every lane samples four bilinear-filter corners from a
+// seeded texture over the slower texture path (TLD, scattered
+// per-lane addresses), fetches warp-shared vertex constants over the
+// fast path (coalesced LDG), blends the five values, and then runs an
+// alpha-test branch — texel-content-dependent, so the warp splits
+// mildly — around the extra shading math.
+type TextureParams struct {
+	// Seed drives the texture and vertex-buffer content.
+	Seed int64
+	// NumWarps is the total warps launched.
+	NumWarps int
+	// Iterations is the number of samples each lane shades.
+	Iterations int
+	// TexLog2 is log2 of the texture's byte size.
+	TexLog2 int
+	// RowBytes is the texture row pitch used for the v+1 corners.
+	RowBytes int
+	// MathOps is the shading arithmetic issued behind the alpha test.
+	MathOps int
+}
+
+// DefaultTexture fills one wave of the default 64 warp slots shading
+// eight samples against a 64 KB texture.
+func DefaultTexture() TextureParams {
+	return TextureParams{
+		Seed:       11,
+		NumWarps:   64,
+		Iterations: 8,
+		TexLog2:    16,
+		RowBytes:   256,
+		MathOps:    6,
+	}
+}
+
+// Validate reports the first invalid parameter.
+func (p TextureParams) Validate() error {
+	switch {
+	case p.NumWarps <= 0:
+		return fmt.Errorf("workload: NumWarps must be positive")
+	case p.Iterations <= 0:
+		return fmt.Errorf("workload: Iterations must be positive")
+	case p.TexLog2 < 10 || p.TexLog2 > 26:
+		return fmt.Errorf("workload: TexLog2 %d out of range [10,26]", p.TexLog2)
+	case p.RowBytes <= 0 || p.RowBytes&(p.RowBytes-1) != 0:
+		return fmt.Errorf("workload: RowBytes must be a positive power of two")
+	case p.RowBytes*2 >= 1<<(p.TexLog2-1):
+		return fmt.Errorf("workload: RowBytes %d too large for texture", p.RowBytes)
+	case p.MathOps < 0:
+		return fmt.Errorf("workload: MathOps must be non-negative")
+	}
+	return nil
+}
+
+// Texture workload buffers, disjoint from the other workloads'
+// address spaces.
+const (
+	texBase    = 0x0800_0000
+	texVtxBase = 0x0900_0000
+	texOutBase = 0x0A00_0000
+	// texVtxBytes sizes the warp-shared vertex/constant buffer.
+	texVtxBytes = 4096
+)
+
+// Texture assembles the shading kernel and seeds the texture and
+// vertex buffers.
+//
+// Register map: R0 lane, R1 global tid, R2 iteration, R3 lane*4, R5
+// sample address, R6 address scratch, R7-R10 bilinear corners, R11
+// vertex fetch, R12 vertex-line mask, R13 sample mask, R14 scratch,
+// R15 color accumulator.
+func Texture(p TextureParams) (*sm.Kernel, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	// Samples stay in the texture's lower half so the +RowBytes+4
+	// corner offsets never escape the buffer.
+	sampleMask := int32((1<<(p.TexLog2-1) - 1) &^ 3)
+	vtxMask := int32(texVtxBytes - 128)
+
+	b := isa.NewBuilder("texture")
+	b.SetRegsPerThread(40)
+
+	b.S2R(0, isa.SRLaneID)
+	b.S2R(1, isa.SRThreadID)
+	b.Shl(3, 0, 2)
+	b.Movi(13, sampleMask)
+	b.Movi(12, vtxMask)
+	b.Movi(2, 0) // iteration
+
+	b.Label("sample")
+	// Pseudo-random per-lane texel coordinate: scattered TLDs, the
+	// texture path's extra latency on every corner.
+	b.Imuli(5, 1, 48271)
+	b.Imuli(6, 2, 12007)
+	b.Iadd(5, 5, 6)
+	b.Iand(5, 5, 13)
+	b.Iaddi(5, 5, texBase)
+	b.Tld(7, 5, 0, 0)
+	b.Tld(8, 5, 4, 1)
+	b.Tld(9, 5, int32(p.RowBytes), 2)
+	b.Tld(10, 5, int32(p.RowBytes+4), 3)
+	// Vertex/constant fetch: one warp-shared line per iteration over
+	// the fast LDG path — the mixed-latency contrast.
+	b.Imuli(6, 2, 128)
+	b.Iand(6, 6, 12)
+	b.Iadd(6, 6, 3)
+	b.Iaddi(6, 6, texVtxBase)
+	b.Ldg(11, 6, 0, 4)
+	// Bilinear blend; each consume is a load-to-use point on its own
+	// scoreboard.
+	b.Iadd(14, 7, 7).Req(0)
+	b.Fadd(7, 7, 8).Req(1)
+	b.Iadd(14, 10, 10).Req(3)
+	b.Fadd(9, 9, 10).Req(2)
+	b.Fmul(7, 7, 9)
+	b.Fadd(7, 7, 11).Req(4)
+	b.Fadd(15, 15, 7)
+	// Alpha test: shade only lanes whose blended sample has the sign
+	// bit clear — texel-content-dependent warp splits.
+	b.Bssy(0, "shaded")
+	b.Isetpi(isa.CmpGT, 1, 7, 0)
+	b.BraP(1, true, "shaded")
+	b.Mufu(14, 7)
+	for i := 0; i < p.MathOps; i++ {
+		b.Ffma(14, 14, 14, 14)
+	}
+	b.Fadd(15, 15, 14)
+	b.Label("shaded")
+	b.Bsync(0)
+	b.Iaddi(2, 2, 1)
+	b.Isetpi(isa.CmpLT, 0, 2, int32(p.Iterations))
+	b.BraP(0, false, "sample")
+
+	// out[tid] = color.
+	b.Shl(6, 1, 2)
+	b.Iaddi(6, 6, texOutBase)
+	b.Stg(6, 0, 15)
+	b.Exit()
+
+	prog, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	m := mem.NewMemory()
+	rng := rand.New(rand.NewSource(p.Seed))
+	for i := 0; i < (1<<p.TexLog2)/4; i++ {
+		m.Store(texBase+uint64(4*i), rng.Uint32())
+	}
+	for i := 0; i < texVtxBytes/4; i++ {
+		m.Store(texVtxBase+uint64(4*i), rng.Uint32())
+	}
+	return &sm.Kernel{
+		Program:     prog,
+		NumWarps:    p.NumWarps,
+		WarpsPerCTA: 1,
+		Memory:      m,
+	}, nil
+}
+
+func init() {
+	register(Generator{
+		Name:  "texture",
+		Title: "graphics: bilinear texture sampling + mixed-latency loads, alpha-test divergence",
+		Build: func() (*sm.Kernel, error) { return Texture(DefaultTexture()) },
+	})
+}

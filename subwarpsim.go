@@ -149,6 +149,37 @@ func DefaultMicrobenchmark(subwarpSize int) MicrobenchParams {
 // BuildMicrobenchmark assembles the microbenchmark kernel.
 func BuildMicrobenchmark(p MicrobenchParams) (*Kernel, error) { return workload.Microbench(p) }
 
+// WorkloadGenerator describes one registered synthetic workload
+// family (gemm, bfs, texture, ...): a named parameterless kernel
+// constructor covering a control-flow shape beyond the raytracing
+// traces.
+type WorkloadGenerator = workload.Generator
+
+// WorkloadGenerators returns the registered families sorted by name.
+func WorkloadGenerators() []WorkloadGenerator { return workload.Generators() }
+
+// WorkloadNames returns the registered family names, for CLI usage
+// text and menus.
+func WorkloadNames() []string { return workload.GeneratorNames() }
+
+// BuildWorkload constructs a fresh kernel for the named family.
+func BuildWorkload(name string) (*Kernel, error) { return workload.BuildByName(name) }
+
+// SchedPolicy selects the warp-scheduler arbitration rule (see
+// Config.SchedPolicy): LRR round-robin (the default), greedy-then-
+// oldest, or a WaSP-style phase-offset scheduler.
+type SchedPolicy = config.SchedPolicy
+
+const (
+	SchedLRR  = config.SchedLRR
+	SchedGTO  = config.SchedGTO
+	SchedWaSP = config.SchedWaSP
+)
+
+// ParseSchedPolicy maps a policy name ("lrr", "gto", "wasp") onto the
+// config constant.
+func ParseSchedPolicy(name string) (SchedPolicy, error) { return config.ParseSchedPolicy(name) }
+
 // TraceRecorder collects structured simulation events for the
 // observability layer. Attach one to Config.Trace before Run; leaving
 // Config.Trace nil (the default) disables tracing with zero overhead.

@@ -18,10 +18,12 @@ benchtime="${BENCHTIME:-1s}"
 count="${BENCHCOUNT:-1}"
 
 # The tracked set: whole-device throughput (the 1.4x acceptance
-# number), the simulated-cycle rate, and the zero-alloc hot-loop
-# microbenchmarks. Figure-regeneration benchmarks stay out — they are
-# experiment drivers, not perf regressions trackers.
-pat='BenchmarkGPURunSequential|BenchmarkGPURunCompiled|BenchmarkGPURunInterpreted|BenchmarkSimulationRate'
+# number), the simulated-cycle rate, the three synthetic workload
+# families (regular GEMM, irregular BFS, mixed-latency texture), and
+# the zero-alloc hot-loop microbenchmarks. Figure-regeneration
+# benchmarks stay out — they are experiment drivers, not perf
+# regressions trackers.
+pat='BenchmarkGPURunSequential|BenchmarkGPURunCompiled|BenchmarkGPURunInterpreted|BenchmarkGPURunGEMM|BenchmarkGPURunBFS|BenchmarkGPURunTexture|BenchmarkSimulationRate'
 smpat='BenchmarkBlockStep|BenchmarkExecuteLoad'
 
 tmp=$(mktemp)

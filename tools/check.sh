@@ -48,6 +48,15 @@ echo "== compiled-mode gate =="
 # its one-compile-per-program cache.
 go test -race -count=1 -run 'TestCompiled|TestGolden' ./internal/gpu ./internal/experiments
 go test -race -count=1 -run 'FuzzRun' ./internal/gpu
+
+echo "== matrix gate =="
+# The cross-matrix differential layer under the race detector: every
+# workload-family x scheduler-policy x SI cell must be bit-identical
+# across worker counts and across the compiled and interpreted engines,
+# and the per-family invariants (SI transparency on divergence-free
+# GEMM, idle-bucket conservation, schedule-independent work and memory
+# images) must hold in every cell.
+go test -race -count=1 -run 'TestMatrixDifferential|TestPropertyGEMMSITransparency|TestPropertyGeneratorInvariants' ./internal/gpu
 go test -race -count=1 -run 'TestCompile|TestCompiledSteadyStateZeroAlloc' ./internal/isa ./internal/sm
 
 echo "== service smoke =="
