@@ -9,20 +9,25 @@
 //	sisim -app MW -si -latency 900 -maxsubwarps 4
 //	sisim -microbench 4 -si -trace out.json -trace-warps 0-7
 //	sisim -app BFV1 -si -timeline occupancy.csv -stalls -hist
+//	sisim -submit kernel.asm -max-cycles 100000   # untrusted assembly
 //
-// Workloads come in three kinds: -app (the paper's raytracing traces,
+// Workloads come in four kinds: -app (the paper's raytracing traces,
 // see -listapps), -microbench (the divergence-scaling microbenchmark),
-// and -workload (registered synthetic families — the list in the flag's
+// -workload (registered synthetic families — the list in the flag's
 // usage text is enumerated from the registry, so new families show up
-// automatically).
+// automatically), and -submit (untrusted assembly put through the same
+// admission checks and gas budgets the daemon's /v1/submit applies, so
+// a kernel can be vetted locally before it is ever sent to a service).
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
@@ -30,6 +35,7 @@ import (
 	"time"
 
 	"subwarpsim"
+	"subwarpsim/internal/admission"
 	"subwarpsim/internal/faults"
 	"subwarpsim/internal/obs"
 	"subwarpsim/internal/simcache"
@@ -42,6 +48,13 @@ func main() {
 	// usage text can never go stale as families are added.
 	workloadFlag := flag.String("workload", "",
 		"synthetic workload family: "+strings.Join(subwarpsim.WorkloadNames(), ", "))
+	submitPath := flag.String("submit", "",
+		"validate and run untrusted assembly from this file under the daemon's admission checks and gas budgets")
+	submitWarps := flag.Int("warps", 8, "warps to launch for -submit")
+	maxCycles := flag.Int64("max-cycles", 2_000_000, "-submit gas budget: simulated cycles per SM (0 = unlimited)")
+	maxInstrs := flag.Int64("max-instrs", 8_000_000, "-submit gas budget: retired instructions per SM (0 = unlimited)")
+	memFootprint := flag.Int64("mem-footprint", 8<<20,
+		"-submit declared memory footprint in bytes: static bound on memory-operand immediates and the memory gas budget")
 	policyFlag := flag.String("policy", "", "warp scheduler policy: lrr (default), gto, wasp")
 	si := flag.Bool("si", false, "enable Subwarp Interleaving")
 	dws := flag.Bool("dws", false, "model Dynamic Warp Subdivision instead of SI")
@@ -135,14 +148,21 @@ func main() {
 	var kernel *subwarpsim.Kernel
 	var workloadID string
 	selected := 0
-	for _, set := range []bool{*micro != 0, *app != "", *workloadFlag != ""} {
+	for _, set := range []bool{*micro != 0, *app != "", *workloadFlag != "", *submitPath != ""} {
 		if set {
 			selected++
 		}
 	}
 	switch {
 	case selected > 1:
-		fail("choose one workload: -app, -microbench, or -workload, not both")
+		fail("choose one workload: -app, -microbench, -workload, or -submit, not several")
+	case *submitPath != "":
+		workloadID = "submit/" + filepath.Base(*submitPath)
+		kernel, err = buildSubmission(*submitPath, *submitWarps, subwarpsim.Budget{
+			MaxCycles:   *maxCycles,
+			MaxInstrs:   *maxInstrs,
+			MaxMemBytes: *memFootprint,
+		})
 	case *micro != 0:
 		// Negative and non-power-of-two sizes reach the builder so the
 		// user sees its precise validation error, not the generic usage.
@@ -260,6 +280,18 @@ func main() {
 			}
 		}
 		if err != nil {
+			// Budget kills and deadlocks are the submission's fault, not the
+			// simulator's; report them in the same structured terms the
+			// daemon's 422 responses use.
+			var be *subwarpsim.BudgetError
+			var de *subwarpsim.DeadlockError
+			switch {
+			case errors.As(err, &be):
+				fail("budget exhausted: %s used %d exceeds limit %d at cycle %d (sm %d)",
+					be.Resource, be.Used, be.Limit, be.Cycle, be.SM)
+			case errors.As(err, &de):
+				fail("deadlock at cycle %d (sm %d)\n%s", de.Cycle, de.SM, de.State)
+			}
 			fail("%v", err)
 		}
 		if cache != nil {
@@ -274,6 +306,10 @@ func main() {
 	c := res.Counters
 	d := res.Derived()
 	fmt.Printf("kernel    %s\n", kernel.Program.Name)
+	if kernel.Budget.Enabled() {
+		fmt.Printf("budget    %d cycles, %d instrs, %d mem bytes (per SM) — run stayed within it\n",
+			kernel.Budget.MaxCycles, kernel.Budget.MaxInstrs, kernel.Budget.MaxMemBytes)
+	}
 	if cached {
 		fmt.Printf("cache     hit %s\n", key)
 	}
@@ -327,6 +363,42 @@ func main() {
 				rec.Series.Len(), rec.Series.Window, *timeline)
 		}
 	}
+}
+
+// buildSubmission reads, admission-checks, and packages an untrusted
+// assembly file exactly as the daemon's /v1/submit does: the same
+// validator, the same budget semantics (the declared footprint bounds
+// memory-operand immediates statically and the stored words
+// dynamically), so a kernel accepted here is accepted by the service.
+func buildSubmission(path string, warps int, budget subwarpsim.Budget) (*subwarpsim.Kernel, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if warps < 1 {
+		return nil, fmt.Errorf("-warps must be at least 1")
+	}
+	lim := admission.DefaultLimits()
+	lim.MemFootprintBytes = budget.MaxMemBytes
+	prog, err := admission.ValidateSource(filepath.Base(path), string(src), lim)
+	if err != nil {
+		var ae *admission.Error
+		if errors.As(err, &ae) {
+			return nil, fmt.Errorf("admission reject (reason %s, pc %d): %s", ae.Reason, ae.PC, ae.Detail)
+		}
+		return nil, err
+	}
+	perCTA := 2
+	if warps < perCTA {
+		perCTA = warps
+	}
+	return &subwarpsim.Kernel{
+		Program:     prog,
+		NumWarps:    warps,
+		WarpsPerCTA: perCTA,
+		Memory:      subwarpsim.NewMemory(),
+		Budget:      &budget,
+	}, nil
 }
 
 // writeFileWith streams fn's output into a freshly created file.

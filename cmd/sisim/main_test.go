@@ -52,8 +52,8 @@ func TestCLIErrorPaths(t *testing.T) {
 		"unknown app":         {[]string{"-app", "NoSuchApp"}, "NoSuchApp"},
 		"negative microbench": {[]string{"-microbench", "-3"}, "-3"},
 		"odd microbench":      {[]string{"-microbench", "5"}, "5"},
-		"both workloads":      {[]string{"-app", "BFV1", "-microbench", "4"}, "not both"},
-		"app and workload":    {[]string{"-app", "BFV1", "-workload", "gemm"}, "not both"},
+		"both workloads":      {[]string{"-app", "BFV1", "-microbench", "4"}, "not several"},
+		"app and workload":    {[]string{"-app", "BFV1", "-workload", "gemm"}, "not several"},
 		"unknown workload":    {[]string{"-workload", "nosuch"}, "nosuch"},
 		"bad policy":          {[]string{"-microbench", "4", "-policy", "fifo"}, "fifo"},
 		"bad order":           {[]string{"-microbench", "4", "-order", "sideways"}, "sideways"},
@@ -223,6 +223,69 @@ func TestCLICompileModesAgree(t *testing.T) {
 	}
 	if c1, c2 := cycles(comp), cycles(interp); c1 == "" || c1 != c2 {
 		t.Errorf("engines report different cycles: %q vs %q", c1, c2)
+	}
+}
+
+// TestCLISubmitSamples: every kernel shipped in examples/submissions
+// runs end to end under -submit — through the same admission checks
+// and gas budgets the daemon applies — and reports its budget line.
+func TestCLISubmitSamples(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the CLI binary")
+	}
+	bin := buildCLI(t)
+	samples, err := filepath.Glob("../../examples/submissions/*.asm")
+	if err != nil || len(samples) < 2 {
+		t.Fatalf("want at least two sample submissions, got %v (%v)", samples, err)
+	}
+	for _, sample := range samples {
+		t.Run(filepath.Base(sample), func(t *testing.T) {
+			stdout, stderr, code := runCLI(t, bin, "-submit", sample, "-timeout", "2m")
+			if code != 0 {
+				t.Fatalf("exit %d: %s", code, stderr)
+			}
+			for _, want := range []string{"kernel", "budget", "cycles", "stayed within"} {
+				if !strings.Contains(stdout, want) {
+					t.Errorf("output missing %q:\n%s", want, stdout)
+				}
+			}
+		})
+	}
+}
+
+// TestCLISubmitSandbox: hostile inputs fail closed — a statically
+// invalid kernel is rejected with a structured admission reason, a
+// runaway kernel is killed by the gas meter, and both exit 1.
+func TestCLISubmitSandbox(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the CLI binary")
+	}
+	bin := buildCLI(t)
+	hostile := "../../internal/admission/testdata/hostile"
+
+	stdout, stderr, code := runCLI(t, bin, "-submit", filepath.Join(hostile, "oob_load.asm"))
+	if code != 1 || !strings.Contains(stderr, "admission reject") || !strings.Contains(stderr, "footprint") {
+		t.Errorf("oob_load: exit %d, stderr %q; want exit 1 with a footprint admission reject", code, stderr)
+	}
+	if strings.Contains(stdout, "cycles") {
+		t.Errorf("rejected run must not print a result table:\n%s", stdout)
+	}
+
+	_, stderr, code = runCLI(t, bin,
+		"-submit", filepath.Join(hostile, "infinite_loop.asm"), "-max-cycles", "10000")
+	if code != 1 || !strings.Contains(stderr, "budget exhausted") {
+		t.Errorf("infinite_loop: exit %d, stderr %q; want exit 1 with a budget kill", code, stderr)
+	}
+
+	// The kill point is part of the deterministic contract: both
+	// execution engines report the identical message.
+	_, interp, code := runCLI(t, bin,
+		"-submit", filepath.Join(hostile, "infinite_loop.asm"), "-max-cycles", "10000", "-compile", "off")
+	if code != 1 {
+		t.Fatalf("interpreted kill exit = %d, want 1", code)
+	}
+	if interp != stderr {
+		t.Errorf("engines disagree on the kill:\ncompiled:    %q\ninterpreted: %q", stderr, interp)
 	}
 }
 

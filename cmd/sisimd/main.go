@@ -5,7 +5,10 @@
 //	sisimd -addr :8477 -workers 4 -cache-dir /var/cache/sisim
 //
 // Endpoints: GET /healthz, GET /metrics, GET /v1/apps,
-// POST /v1/jobs, POST /v1/batch. See README "Serving".
+// POST /v1/jobs, POST /v1/batch, POST /v1/submit. See README
+// "Serving" and "Submitting kernels"; the -tenant-* flags configure
+// per-tenant rate limits, quotas, and weighted-fair scheduling keyed
+// by the X-Tenant request header.
 package main
 
 import (
@@ -18,6 +21,8 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -25,11 +30,33 @@ import (
 	"subwarpsim/internal/obs"
 	"subwarpsim/internal/server"
 	"subwarpsim/internal/simcache"
+	"subwarpsim/internal/sm"
 )
 
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, "sisimd:", err)
 	os.Exit(1)
+}
+
+// parseWeights parses "gold=4,silver=2" into the weighted-fair dequeue
+// share map; an empty spec means every tenant weighs 1.
+func parseWeights(spec string) (map[string]int, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	weights := make(map[string]int)
+	for _, part := range strings.Split(spec, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("bad entry %q (want tenant=weight)", part)
+		}
+		w, err := strconv.Atoi(val)
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("bad weight %q for tenant %q (want a positive integer)", val, name)
+		}
+		weights[name] = w
+	}
+	return weights, nil
 }
 
 // buildLogger constructs the daemon's structured logger on stderr
@@ -68,6 +95,14 @@ func main() {
 	cacheRetries := flag.Int("cache-retries", 2, "retries for transient disk-cache errors (-1 disables)")
 	breakerTrip := flag.Int("breaker-trip", 5, "consecutive disk-cache failures that trip the memory-only breaker")
 	breakerCooldown := flag.Duration("breaker-cooldown", 5*time.Second, "open-breaker cooldown before a recovery probe")
+	tenantRate := flag.Float64("tenant-rate", 0, "per-tenant submissions per second (token bucket; 0 = unlimited)")
+	tenantBurst := flag.Int("tenant-burst", 0, "per-tenant token-bucket burst (0 = 1 when -tenant-rate is set)")
+	tenantQueued := flag.Int("tenant-queued", 0, "per-tenant queued-job quota (0 = unlimited)")
+	tenantInFlight := flag.Int("tenant-inflight", 0, "per-tenant concurrently-running quota (0 = unlimited)")
+	tenantWeights := flag.String("tenant-weights", "", "weighted-fair dequeue shares, e.g. gold=4,silver=2 (unlisted tenants weigh 1)")
+	submitMaxCycles := flag.Int64("submit-max-cycles", 0, "hard cap on a submission's cycle budget (0 = built-in 20M)")
+	submitMaxInstrs := flag.Int64("submit-max-instrs", 0, "hard cap on a submission's instruction budget (0 = built-in 100M)")
+	submitMaxMem := flag.Int64("submit-max-mem", 0, "hard cap on a submission's memory footprint in bytes (0 = built-in 64MiB)")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (off by default)")
 	logLevel := flag.String("log-level", "info", "structured log level: debug, info, warn, error, off")
 	eventRing := flag.Int("events", 256, "debug-event ring size (GET /debug/events)")
@@ -119,16 +154,31 @@ func main() {
 		cache = simcache.NewMemory(*cacheEntries)
 	}
 
+	weights, err := parseWeights(*tenantWeights)
+	if err != nil {
+		fail(fmt.Errorf("-tenant-weights: %w", err))
+	}
+
 	srv := server.New(server.Options{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		SimWorkers:     *simWorkers,
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTimeout,
-		Cache:          cache,
-		Faults:         injector,
-		Obs:            obs.New(server.MetricsNamespace, *eventRing, *traceKeep, logger),
-		Interpret:      !compiled,
+		Workers:           *workers,
+		QueueDepth:        *queue,
+		SimWorkers:        *simWorkers,
+		DefaultTimeout:    *timeout,
+		MaxTimeout:        *maxTimeout,
+		Cache:             cache,
+		Faults:            injector,
+		Obs:               obs.New(server.MetricsNamespace, *eventRing, *traceKeep, logger),
+		Interpret:         !compiled,
+		TenantRate:        *tenantRate,
+		TenantBurst:       *tenantBurst,
+		TenantMaxQueued:   *tenantQueued,
+		TenantMaxInFlight: *tenantInFlight,
+		TenantWeights:     weights,
+		MaxBudget: sm.Budget{
+			MaxCycles:   *submitMaxCycles,
+			MaxInstrs:   *submitMaxInstrs,
+			MaxMemBytes: *submitMaxMem,
+		},
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -340,6 +340,144 @@ func TestDaemonDegradedServing(t *testing.T) {
 	}
 }
 
+// TestDaemonSubmitSandbox is the sandbox gate: a race-enabled daemon
+// is fed the entire hostile corpus through POST /v1/submit and must
+// reject every program with a structured reason (400) or kill it
+// within its gas budget (422) — then still serve well-formed work,
+// answer /healthz, count the attacks in its metrics, and drain
+// cleanly (a detected data race fails the drain with exit code 66).
+func TestDaemonSubmitSandbox(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the daemon binary under -race")
+	}
+	bin := filepath.Join(t.TempDir(), "sisimd-race")
+	if out, err := exec.Command("go", "build", "-race", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build -race: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-workers", "2",
+		"-submit-max-cycles", "20000", "-submit-max-instrs", "40000",
+		"-submit-max-mem", "1048576", "-tenant-queued", "16")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		t.Fatalf("no startup line; stderr: %s", stderr.String())
+	}
+	base := "http://" + strings.TrimPrefix(sc.Text(), "sisimd listening on ")
+	go func() {
+		for sc.Scan() {
+		}
+	}()
+
+	submit := func(tenant, name, assembly string) (int, map[string]any) {
+		t.Helper()
+		body, _ := json.Marshal(map[string]any{"name": name, "assembly": assembly})
+		req, err := http.NewRequest(http.MethodPost, base+"/v1/submit", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("X-Tenant", tenant)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var m map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+			t.Fatalf("undecodable response (status %d): %v", resp.StatusCode, err)
+		}
+		return resp.StatusCode, m
+	}
+
+	files, err := filepath.Glob("../../internal/admission/testdata/hostile/*.asm")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no hostile corpus: %v", err)
+	}
+	var rejected, killed int
+	for _, f := range files {
+		src, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		name := filepath.Base(f)
+		switch code, body := submit("attacker", name, string(src)); code {
+		case http.StatusBadRequest:
+			if r, _ := body["reason"].(string); r == "" {
+				t.Errorf("%s: 400 without a structured reason: %v", name, body)
+			}
+			rejected++
+		case http.StatusUnprocessableEntity:
+			_, budget := body["budget_exhausted"]
+			_, deadlock := body["deadlock"]
+			if !budget && !deadlock {
+				t.Errorf("%s: 422 without budget or deadlock marker: %v", name, body)
+			}
+			killed++
+		default:
+			t.Errorf("%s: status %d — hostile input escaped the sandbox: %v", name, code, body)
+		}
+	}
+	if rejected == 0 || killed == 0 {
+		t.Fatalf("gate is vacuous: %d rejects, %d kills", rejected, killed)
+	}
+
+	// The daemon shrugged it all off: health, then a real kernel.
+	if resp, err := http.Get(base + "/healthz"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz after hostile corpus: %v %v", err, resp)
+	} else {
+		resp.Body.Close()
+	}
+	sample, err := os.ReadFile("../../examples/submissions/saxpy.asm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code, body := submit("paying-customer", "saxpy", string(sample)); code != http.StatusOK {
+		t.Fatalf("well-formed submission after corpus = %d: %v", code, body)
+	}
+
+	// The attack shows up on the instruments, labeled by tenant.
+	req, _ := http.NewRequest(http.MethodGet, base+"/metrics", nil)
+	req.Header.Set("Accept", "text/plain")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var expo strings.Builder
+	io.Copy(&expo, resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"sisimd_admission_rejects_total", "sisimd_budget_kills_total",
+		`sisimd_tenant_queue_depth{tenant="attacker"}`,
+	} {
+		if !strings.Contains(expo.String(), want) {
+			t.Errorf("exposition missing %s after the corpus run", want)
+		}
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exited uncleanly (data race?): %v\nstderr: %s", err, stderr.String())
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("daemon did not drain after the hostile corpus")
+	}
+}
+
 // startDaemon launches the built binary with extra flags and returns
 // the base URL; cleanup SIGTERMs it and waits for the drain.
 func startDaemon(t *testing.T, bin string, extra ...string) string {
@@ -451,6 +589,19 @@ func TestDaemonRejectsBadFlags(t *testing.T) {
 	}
 	if !strings.Contains(string(out), "unexpected argument") {
 		t.Errorf("output %q must name the stray argument", out)
+	}
+
+	for name, args := range map[string][]string{
+		"malformed entry": {"-addr", "127.0.0.1:0", "-tenant-weights", "goldnovalue"},
+		"zero weight":     {"-addr", "127.0.0.1:0", "-tenant-weights", "gold=0"},
+	} {
+		out, err := exec.Command(bin, args...).CombinedOutput()
+		if err == nil {
+			t.Fatalf("%s: bad -tenant-weights must fail startup", name)
+		}
+		if !strings.Contains(string(out), "tenant-weights") {
+			t.Errorf("%s: output %q must name the flag", name, out)
+		}
 	}
 }
 

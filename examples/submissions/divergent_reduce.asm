@@ -1,0 +1,23 @@
+// divergent_reduce: each thread loads one word and conditionally
+// doubles it — half of every warp takes the branch, the shape subwarp
+// interleaving targets. The divergence is properly armed with
+// BSSY/BSYNC, so admission's barrier-stack CFG check accepts it;
+// try `sisim -submit ... -si` to watch the SI counters move.
+//
+//	sisim -submit examples/submissions/divergent_reduce.asm -si -yield
+.regs 8
+    S2R R0, SR0              // lane within the warp
+    S2R R1, SR3              // global thread id
+    SHL R2, R1, 2
+    LDG R3, [R2+0] &wr=sb0
+    ISETP.LT P0, R0, 16      // lanes 0..15 diverge from 16..31
+    BSSY B0, join
+    @P0 BRA double
+    IADD R4, R3, 1 &req=sb0
+    BRA join
+double:
+    IADD R4, R3, R3 &req=sb0
+join:
+    BSYNC B0
+    STG [R2+131072], R4
+    EXIT

@@ -1,0 +1,19 @@
+// saxpy: y[i] = a*x[i] + y[i] for one element per thread, with a = 3
+// synthesized by repeated adds (the ISA has no multiply). x lives at
+// byte offset 0, y at 64 KiB — both inside the declared footprint, so
+// admission's static operand check and the memory gas budget accept it.
+//
+// Submit it to a daemon (see README "Submitting kernels") or run it
+// locally with the identical admission checks and budgets:
+//
+//	sisim -submit examples/submissions/saxpy.asm
+.regs 8
+    S2R R0, SR3              // global thread id
+    SHL R1, R0, 2            // byte address of element i
+    LDG R2, [R1+0] &wr=sb0   // x[i]
+    LDG R3, [R1+65536] &wr=sb1
+    IADD R4, R2, R2 &req=sb0 // 2*x[i]
+    IADD R4, R4, R2          // 3*x[i]
+    IADD R4, R4, R3 &req=sb1 // 3*x[i] + y[i]
+    STG [R1+65536], R4
+    EXIT

@@ -1,0 +1,145 @@
+package admission
+
+import "subwarpsim/internal/isa"
+
+// checkCFG proves the convergence-barrier structure sound by abstract
+// interpretation over the program's basic blocks (reusing the compile
+// pass's block map): the abstract state is the stack of armed barrier
+// indices at each control-flow point.
+//
+// Why a stack, and why these rules: the SM's only unrecoverable
+// failure mode in barrier handling is a thread arriving at a BSYNC it
+// was never registered for (executeBsync panics — the invariant PR 8's
+// fuzzer found violated by unstructured inputs). A thread is
+// registered for barrier B exactly by executing BSSY B while active,
+// and the barrier cannot be cleared while any registered thread is
+// still en route to the BSYNC (reconvergence requires every
+// participant arrived, blocked there, or exited). So it suffices to
+// prove, statically, that every path from the program entry to each
+// BSYNC B passes a still-armed BSSY B — which is precisely "B is on
+// the abstract stack at the BSYNC".
+//
+// Rules enforced, each a reject with ReasonCFG:
+//   - BSSY B pushes B; re-arming a barrier already on the stack is
+//     rejected (it would break pop matching, and the house idiom never
+//     produces it).
+//   - BSSY B's reconvergence target must be a BSYNC of the same
+//     barrier (the builder idiom: `Bssy(b, label)` with the label on
+//     the BSYNC).
+//   - BSYNC B must match the innermost armed barrier (pop); barriers
+//     must nest.
+//   - A divergent branch (predicated BRA) requires a non-empty stack:
+//     splintered subwarps must have a barrier to reconverge at.
+//   - Join points require entry-stack equality: two paths meeting with
+//     different armed sets is unstructured control flow the barrier
+//     machinery cannot express.
+//   - No fall-through past the end of the program (a predicated BRA as
+//     the last instruction slips through isa.Program.Validate but
+//     panics the fetch path for not-taken threads).
+//
+// EXIT under an armed stack is deliberately allowed: releaseAfterExit
+// releases blocked participants once every other participant has
+// exited, so divergent-exit shapes are safe. Infinite loops also pass
+// — admission proves panic-freedom, the gas meter bounds run time.
+//
+// Blocks unreachable from the entry are not analyzed: with BRX
+// rejected at admission, every dynamically reachable PC is reachable
+// in this static walk.
+func checkCFG(p *isa.Program) error {
+	cp := p.Compiled()
+	n := len(p.Code)
+	entry := make([][]uint8, len(cp.Blocks))
+	visited := make([]bool, len(cp.Blocks))
+	work := []int{0}
+	visited[0] = true
+	entry[0] = []uint8{}
+	for len(work) > 0 {
+		bi := work[len(work)-1]
+		work = work[:len(work)-1]
+		bb := cp.Blocks[bi]
+		stack := append([]uint8(nil), entry[bi]...)
+		for pc := bb.Start; pc < bb.End; pc++ {
+			in := p.Code[pc]
+			switch in.Op {
+			case isa.BSSY:
+				for _, armed := range stack {
+					if armed == in.Barrier {
+						return reject(ReasonCFG, pc,
+							"BSSY B%d re-arms an already-armed barrier", in.Barrier)
+					}
+				}
+				t := in.Target
+				if t < 0 || t >= n || p.Code[t].Op != isa.BSYNC || p.Code[t].Barrier != in.Barrier {
+					return reject(ReasonCFG, pc,
+						"BSSY B%d reconvergence target %d is not a BSYNC B%d", in.Barrier, t, in.Barrier)
+				}
+				stack = append(stack, in.Barrier)
+			case isa.BSYNC:
+				if len(stack) == 0 {
+					return reject(ReasonCFG, pc,
+						"BSYNC B%d with no armed barrier on some path", in.Barrier)
+				}
+				if top := stack[len(stack)-1]; top != in.Barrier {
+					return reject(ReasonCFG, pc,
+						"BSYNC B%d does not match innermost armed barrier B%d (bad nesting)",
+						in.Barrier, top)
+				}
+				stack = stack[:len(stack)-1]
+			case isa.BRA:
+				if (in.Pred != isa.PT || in.PredNeg) && len(stack) == 0 {
+					return reject(ReasonCFG, pc,
+						"divergent branch with no armed convergence barrier")
+				}
+			}
+		}
+		// Successor leaders by terminator. BRX/TRACE were rejected before
+		// this pass runs, and BSSY targets are reconvergence metadata, not
+		// jumps, so the only static edges are BRA targets and fall-through.
+		term := p.Code[bb.End-1]
+		var succs [2]int
+		ns := 0
+		switch term.Op {
+		case isa.EXIT:
+		case isa.BRA:
+			succs[ns] = term.Target
+			ns++
+			if term.Pred != isa.PT || term.PredNeg {
+				succs[ns] = bb.End
+				ns++
+			}
+		default:
+			succs[ns] = bb.End
+			ns++
+		}
+		for _, s := range succs[:ns] {
+			if s >= n {
+				return reject(ReasonCFG, bb.End-1,
+					"control flow falls off the end of the program")
+			}
+			si := int(cp.BlockOf[s])
+			if !visited[si] {
+				visited[si] = true
+				entry[si] = append([]uint8(nil), stack...)
+				work = append(work, si)
+				continue
+			}
+			if !equalStacks(entry[si], stack) {
+				return reject(ReasonCFG, s,
+					"inconsistent barrier nesting at join point (unstructured control flow)")
+			}
+		}
+	}
+	return nil
+}
+
+func equalStacks(a, b []uint8) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,6 @@
+// Indirect branch: targets are runtime register values, so an
+// out-of-range target cannot be excluded statically (it panics the
+// fetch path). Rejected: opcode.
+.regs 8
+    MOVI R0, 9999
+    BRX R0

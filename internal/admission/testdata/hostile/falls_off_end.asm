@@ -1,0 +1,16 @@
+// The final instruction is a predicated branch: not-taken threads
+// fall through past the end of the program, which panics the fetch
+// path. isa.Program.Validate misses this shape (the last op is a BRA);
+// the CFG pass catches the fall-through edge. Rejected: cfg.
+.regs 8
+    S2R R0, SR0
+    ISETP.LT P0, R0, 16
+    BRA start
+sync:
+    BSYNC B0
+    EXIT
+start:
+    BSSY B0, sync
+body:
+    IADD R1, R1, 1
+    @P0 BRA body

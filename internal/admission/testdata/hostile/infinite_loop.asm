@@ -1,0 +1,7 @@
+// Structurally sound but never terminates: admission accepts it, the
+// gas meter kills it (cycles or instructions, whichever budget is
+// tighter).
+.regs 8
+loop:
+    IADD R0, R0, 1
+    BRA loop

@@ -1,0 +1,6 @@
+// BSYNC with no armed barrier: the shape that panics executeBsync
+// ("BSYNC by non-participant threads") if it ever reaches an SM.
+// Rejected: cfg.
+.regs 8
+    BSYNC B0
+    EXIT

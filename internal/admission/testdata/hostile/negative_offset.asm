@@ -1,0 +1,6 @@
+// Negative memory immediate zero-extends to an address near 2^32,
+// escaping any declared footprint. Rejected: operand.
+.regs 8
+    MOVI R0, 0
+    LDG R1, [R0+-4] &wr=sb0
+    EXIT

@@ -1,0 +1,6 @@
+// Load immediate far outside the declared footprint. Rejected:
+// footprint.
+.regs 8
+    MOVI R0, 0
+    LDG R1, [R0+1073741824] &wr=sb0
+    EXIT

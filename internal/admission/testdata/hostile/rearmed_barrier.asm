@@ -1,0 +1,8 @@
+// Arms the same barrier twice without a BSYNC in between, breaking
+// BSSY/BSYNC pairing. Rejected: cfg.
+.regs 8
+    BSSY B0, join
+    BSSY B0, join
+join:
+    BSYNC B0
+    EXIT

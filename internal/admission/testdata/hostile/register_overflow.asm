@@ -1,0 +1,6 @@
+// Declares a 4-register footprint, then writes R32: lying about the
+// footprint would inflate occupancy past what the register file can
+// back. Rejected: registers.
+.regs 4
+    MOVI R32, 1
+    EXIT

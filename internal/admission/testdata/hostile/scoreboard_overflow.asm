@@ -1,0 +1,6 @@
+// References sb12: inside the ISA encoding range but beyond the
+// hardware's 8-entry scoreboard file. Rejected: scoreboard.
+.regs 8
+    MOVI R0, 0
+    LDG R1, [R0+0] &wr=sb12
+    EXIT

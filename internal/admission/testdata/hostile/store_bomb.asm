@@ -1,0 +1,9 @@
+// Stores to a fresh address every iteration, growing the memory
+// footprint without bound. Admission accepts it (each immediate is in
+// range); the memory gas budget kills it.
+.regs 8
+    MOVI R0, 0
+loop:
+    STG [R0+0], R0
+    IADD R0, R0, 4
+    BRA loop

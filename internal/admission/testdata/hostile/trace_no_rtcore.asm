@@ -1,0 +1,6 @@
+// TRACE needs a BVH and ray generator; submissions carry neither, and
+// executing it without an RT core panics. Rejected: opcode.
+.regs 8
+    MOVI R1, 0
+    TRACE R0, R1 &wr=sb0
+    EXIT

@@ -1,0 +1,17 @@
+// Both divergent paths wait on the same barrier at *different* BSYNC
+// instructions: statically each path is properly nested, so admission
+// accepts it, but at runtime the two subwarps block at different PCs
+// and the barrier is never satisfied. The run loop must report a
+// structural deadlock (an error, not a panic), within budget.
+.regs 8
+    S2R R0, SR0
+    ISETP.LT P0, R0, 16
+    BSSY B0, sync_a
+    @P0 BRA other
+sync_a:
+    BSYNC B0
+    BRA done
+other:
+    BSYNC B0
+done:
+    EXIT

@@ -1,0 +1,9 @@
+// Divergent branch with no convergence barrier armed: splintered
+// subwarps would never reconverge. Rejected: cfg.
+.regs 8
+    S2R R0, SR0
+    ISETP.LT P0, R0, 16
+    @P0 BRA skip
+    MOVI R1, 1
+skip:
+    EXIT

@@ -1,0 +1,3 @@
+// No instructions at all. Rejected: parse.
+.regs 8
+// nothing here

@@ -426,7 +426,7 @@ func TestDrainCompletesQueuedJobs(t *testing.T) {
 		}(spec)
 	}
 	<-started // one on the worker...
-	waitFor(t, func() bool { return len(s.queue) == 2 })
+	waitFor(t, func() bool { return s.queue.Len() == 2 })
 
 	drained := make(chan error, 1)
 	go func() {
@@ -480,7 +480,7 @@ func TestRetryAfterDerivedFromLatency(t *testing.T) {
 	}
 	go func() { wg.Wait(); close(done) }()
 	<-started
-	waitFor(t, func() bool { return len(s.queue) == 1 })
+	waitFor(t, func() bool { return s.queue.Len() == 1 })
 
 	code, hdr, body := postRaw(t, ts, "/v1/jobs", JobSpec{Microbench: 4})
 	if code != http.StatusTooManyRequests {

@@ -5,9 +5,11 @@ import (
 	"strings"
 	"time"
 
+	"subwarpsim/internal/admission"
 	"subwarpsim/internal/faults"
 	"subwarpsim/internal/obs"
 	"subwarpsim/internal/simcache"
+	"subwarpsim/internal/sm"
 	"subwarpsim/internal/stats"
 )
 
@@ -50,9 +52,9 @@ func (s *Server) registerMetrics() {
 	r.GaugeFunc(ns+"_workers", "Simulation worker pool size.",
 		func() float64 { return float64(s.opts.Workers) })
 	r.GaugeFunc(ns+"_queue_depth", "Jobs waiting for a worker.",
-		func() float64 { return float64(len(s.queue)) })
+		func() float64 { return float64(s.queue.Len()) })
 	r.GaugeFunc(ns+"_queue_capacity", "Queue slots before backpressure rejects.",
-		func() float64 { return float64(cap(s.queue)) })
+		func() float64 { return float64(s.queue.Cap()) })
 	r.GaugeFunc(ns+"_jobs_in_flight", "Simulations currently on a worker.",
 		func() float64 { return float64(s.inFlight.Load()) })
 	r.GaugeFunc(ns+"_draining", "1 while the server is draining.",
@@ -66,6 +68,8 @@ func (s *Server) registerMetrics() {
 		func() float64 { return float64(s.jobsFailed.Load()) })
 	r.CounterFunc(ns+"_rejected_total", "Submissions rejected by queue backpressure (429).",
 		func() float64 { return float64(s.rejected.Load()) })
+	r.CounterFunc(ns+"_rate_limited_total", "Submissions rejected by the per-tenant token bucket (429).",
+		func() float64 { return float64(s.rateLimited.Load()) })
 	r.CounterFunc(ns+"_coalesced_total", "Submissions deduplicated onto an in-flight twin.",
 		func() float64 { return float64(s.coalesced.Load()) })
 	r.CounterFunc(ns+"_panics_total", "Simulations that panicked (recovered and quarantined).",
@@ -113,6 +117,36 @@ func (s *Server) registerMetrics() {
 			}
 			return float64(s.simCycles.Load()) / (float64(busy) / 1e9)
 		})
+
+	// Sandbox instruments (ISSUE 9). Both label sets are closed —
+	// admission reasons and budget resources are fixed constants — so
+	// every series is pre-registered and visible from the first scrape.
+	s.admRejects = make(map[string]*obs.Counter)
+	for _, reason := range admission.Reasons() {
+		s.admRejects[reason] = r.LabeledCounter(ns+"_admission_rejects_total",
+			"Untrusted submissions rejected by static admission, by structured reason.",
+			"reason", reason)
+	}
+	s.budgetKills = make(map[string]*obs.Counter)
+	for _, resource := range []string{sm.ResourceCycles, sm.ResourceInstructions, sm.ResourceMemory} {
+		s.budgetKills[resource] = r.LabeledCounter(ns+"_budget_kills_total",
+			"Simulations terminated by the gas meter, by exhausted resource.",
+			"resource", resource)
+	}
+	// Per-tenant queue depth: the default tenant's series exists from
+	// the first scrape; other tenants register on first submission
+	// (the set is bounded by maxTenants, so cardinality stays finite).
+	registerTenantGauge := func(tenant string) {
+		r.LabeledGaugeFunc(ns+"_tenant_queue_depth",
+			"Jobs waiting for a worker, per tenant.", "tenant", tenant,
+			func() float64 { return float64(s.queue.depthOf(tenant)) })
+	}
+	registerTenantGauge(DefaultTenant)
+	s.queue.onNewTenant = func(tenant string) {
+		if tenant != DefaultTenant {
+			registerTenantGauge(tenant)
+		}
+	}
 
 	// SI mechanism roll-ups. Pre-registered so the full label set is
 	// visible before the first simulation completes.
@@ -221,8 +255,12 @@ func (s *Server) traceMiddleware(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		tr := obs.NewTrace(sanitizeTraceID(r.Header.Get("X-Trace-ID")))
 		w.Header().Set("X-Trace-ID", tr.ID)
+		ctx := obs.WithTrace(r.Context(), tr)
+		// Tenant identity rides the context alongside the trace; the
+		// canonical form bounds both per-tenant state and label values.
+		ctx = withTenant(ctx, s.tenantNames.canon(sanitizeTenant(r.Header.Get("X-Tenant"))))
 		end := tr.StartSpan("request " + r.Method + " " + r.URL.Path)
-		next.ServeHTTP(w, r.WithContext(obs.WithTrace(r.Context(), tr)))
+		next.ServeHTTP(w, r.WithContext(ctx))
 		end()
 		s.obs.Traces.Add(tr)
 	})

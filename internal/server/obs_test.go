@@ -33,6 +33,16 @@ var requiredSeries = []string{
 	"sisimd_si_max_live_subwarps",
 	"sisimd_go_goroutines",
 	"sisimd_build_info",
+	// ISSUE 9 sandbox instruments: pre-registered labeled series for
+	// every admission reason and budget resource, plus the default
+	// tenant's queue-depth gauge and the rate-limit counter.
+	`sisimd_admission_rejects_total{reason="cfg"}`,
+	`sisimd_admission_rejects_total{reason="parse"}`,
+	`sisimd_budget_kills_total{resource="cycles"}`,
+	`sisimd_budget_kills_total{resource="instructions"}`,
+	`sisimd_budget_kills_total{resource="memory"}`,
+	`sisimd_tenant_queue_depth{tenant="default"}`,
+	"sisimd_rate_limited_total",
 }
 
 func scrape(t *testing.T, ts *httptest.Server, accept string) (string, string) {

@@ -24,6 +24,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"subwarpsim/internal/admission"
 	"subwarpsim/internal/config"
 	"subwarpsim/internal/faults"
 	"subwarpsim/internal/gpu"
@@ -69,6 +70,33 @@ type Options struct {
 	// a spec's explicit "on"/"off" always wins. Engine choice never
 	// changes results (the two are bit-identical) or cache keys.
 	Interpret bool
+
+	// TenantRate and TenantBurst configure the per-tenant token-bucket
+	// submission limiter: each tenant accrues TenantRate tokens per
+	// second up to TenantBurst, and each submission (any endpoint)
+	// spends one. TenantRate 0 (the default) disables rate limiting.
+	TenantRate  float64
+	TenantBurst int
+	// TenantMaxQueued bounds one tenant's jobs waiting in the queue;
+	// TenantMaxInFlight bounds one tenant's jobs concurrently on
+	// workers. 0 means unlimited (per-tenant; the global QueueDepth
+	// and Workers bounds always apply).
+	TenantMaxQueued   int
+	TenantMaxInFlight int
+	// TenantWeights sets per-tenant weighted-fair dequeue shares;
+	// unlisted tenants get weight 1.
+	TenantWeights map[string]int
+
+	// SubmitLimits bounds what /v1/submit kernels may declare; the
+	// zero value means admission.DefaultLimits. The footprint field is
+	// overridden per submission by its memory budget.
+	SubmitLimits admission.Limits
+	// DefaultBudget is the gas budget applied to submissions that do
+	// not request one; MaxBudget clamps what they may request. Zero
+	// fields take built-in defaults (withDefaults), so submissions are
+	// always fully metered.
+	DefaultBudget sm.Budget
+	MaxBudget     sm.Budget
 }
 
 func (o Options) withDefaults() Options {
@@ -92,6 +120,24 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Obs == nil {
 		o.Obs = obs.New(MetricsNamespace, 256, 64, nil)
+	}
+	if o.MaxBudget.MaxCycles <= 0 {
+		o.MaxBudget.MaxCycles = 20_000_000
+	}
+	if o.MaxBudget.MaxInstrs <= 0 {
+		o.MaxBudget.MaxInstrs = 100_000_000
+	}
+	if o.MaxBudget.MaxMemBytes <= 0 {
+		o.MaxBudget.MaxMemBytes = 64 << 20
+	}
+	if o.DefaultBudget.MaxCycles <= 0 {
+		o.DefaultBudget.MaxCycles = 2_000_000
+	}
+	if o.DefaultBudget.MaxInstrs <= 0 {
+		o.DefaultBudget.MaxInstrs = 8_000_000
+	}
+	if o.DefaultBudget.MaxMemBytes <= 0 {
+		o.DefaultBudget.MaxMemBytes = 8 << 20
 	}
 	return o
 }
@@ -118,6 +164,7 @@ type task struct {
 	cfg      config.Config
 	kernel   *sm.Kernel
 	workload string    // spec.WorkloadID(), for per-workload SI roll-ups
+	tenant   string    // canonical tenant, for fair dequeue and quota release
 	enqueued time.Time // queue-wait measurement start
 }
 
@@ -126,8 +173,13 @@ type task struct {
 type Server struct {
 	opts  Options
 	cache simcache.Cache
-	queue chan task
+	queue *fairQueue
 	start time.Time
+
+	// tenantNames canonicalizes (and bounds) tenant identities;
+	// limiter is the per-tenant token-bucket submission rate limiter.
+	tenantNames *tenantSet
+	limiter     *tenantLimiter
 
 	baseCtx    context.Context // parent of every job context
 	cancelBase context.CancelFunc
@@ -151,6 +203,14 @@ type Server struct {
 	simCycles  atomic.Int64 // simulated cycles across completed simulations
 	simBusyNS  atomic.Int64 // wall time workers spent simulating successfully
 
+	rateLimited atomic.Int64 // 429s from the per-tenant token bucket
+
+	// admRejects and budgetKills are pre-registered labeled counters:
+	// admission rejects by structured reason, budget kills by
+	// exhausted resource (registerMetrics).
+	admRejects  map[string]*obs.Counter
+	budgetKills map[string]*obs.Counter
+
 	latMu   sync.Mutex
 	latency stats.Histogram // microseconds per completed simulation
 
@@ -169,15 +229,18 @@ func New(opts Options) *Server {
 	opts = opts.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		opts:       opts,
-		cache:      opts.Cache,
-		queue:      make(chan task, opts.QueueDepth),
-		start:      time.Now(),
-		baseCtx:    ctx,
-		cancelBase: cancel,
-		flights:    make(map[simcache.Key]*flight),
-		quarantine: make(map[simcache.Key]string),
-		obs:        opts.Obs,
+		opts:  opts,
+		cache: opts.Cache,
+		queue: newFairQueue(opts.QueueDepth, opts.TenantMaxQueued,
+			opts.TenantMaxInFlight, opts.TenantWeights),
+		start:       time.Now(),
+		tenantNames: newTenantSet(),
+		limiter:     newTenantLimiter(opts.TenantRate, opts.TenantBurst),
+		baseCtx:     ctx,
+		cancelBase:  cancel,
+		flights:     make(map[simcache.Key]*flight),
+		quarantine:  make(map[simcache.Key]string),
+		obs:         opts.Obs,
 	}
 	s.latency.Name = "job latency (us)"
 	s.runSim = func(ctx context.Context, cfg config.Config, k *sm.Kernel) (gpu.Result, error) {
@@ -194,7 +257,11 @@ func New(opts Options) *Server {
 
 func (s *Server) worker() {
 	defer s.workerWG.Done()
-	for t := range s.queue {
+	for {
+		t, ok := s.queue.pop()
+		if !ok {
+			return
+		}
 		s.inFlight.Add(1)
 		started := time.Now()
 		tr := obs.TraceFrom(t.fl.ctx)
@@ -228,7 +295,15 @@ func (s *Server) worker() {
 				"elapsed_ms", float64(elapsed.Microseconds())/1e3)
 		} else {
 			s.jobsFailed.Add(1)
-			if msg, panicked := panicMessage(err); panicked {
+			var be *sm.BudgetError
+			if errors.As(err, &be) {
+				// A budget kill is a deterministic, well-defined outcome
+				// (same key always dies at the same point), not a simulator
+				// defect: count it by resource, no quarantine.
+				if c := s.budgetKills[be.Resource]; c != nil {
+					c.Inc()
+				}
+			} else if msg, panicked := panicMessage(err); panicked {
 				// A panic means the simulator hit a state it cannot handle
 				// for this exact (config, program, workload): quarantine the
 				// key so repeats are refused up front instead of burning a
@@ -245,6 +320,7 @@ func (s *Server) worker() {
 				"workload", t.workload, "error", err)
 		}
 		s.complete(t.key, t.fl, entry, err)
+		s.queue.release(t.tenant)
 		s.taskWG.Done()
 	}
 }
@@ -314,17 +390,40 @@ func (s *Server) dropWaiter(fl *flight) {
 	}
 }
 
-// jobTimeout clamps a spec's requested timeout into the server's
-// allowed range.
-func (s *Server) jobTimeout(spec JobSpec) time.Duration {
+// jobTimeout clamps a spec's requested timeout (milliseconds) into
+// the server's allowed range.
+func (s *Server) jobTimeout(timeoutMS int) time.Duration {
 	d := s.opts.DefaultTimeout
-	if spec.TimeoutMS > 0 {
-		d = time.Duration(spec.TimeoutMS) * time.Millisecond
+	if timeoutMS > 0 {
+		d = time.Duration(timeoutMS) * time.Millisecond
 	}
 	if d > s.opts.MaxTimeout {
 		d = s.opts.MaxTimeout
 	}
 	return d
+}
+
+// preflight runs the checks every submission path shares before any
+// per-job work: drain state, the admission fault site, and the
+// tenant token bucket.
+func (s *Server) preflight(ctx context.Context) error {
+	if s.draining.Load() {
+		return &apiError{status: http.StatusServiceUnavailable, msg: "server is draining"}
+	}
+	if err := s.opts.Faults.FireCtx(ctx, faults.SiteServerAdmit); err != nil {
+		return &apiError{status: http.StatusServiceUnavailable,
+			msg: "admission fault: " + err.Error()}
+	}
+	if tenant := tenantFrom(ctx); !s.limiter.allow(tenant) {
+		s.rateLimited.Add(1)
+		return &apiError{
+			status:     http.StatusTooManyRequests,
+			msg:        "tenant rate limit exceeded, retry later",
+			retryAfter: 1,
+			extra:      map[string]any{"tenant": tenant, "rate_limited": true},
+		}
+	}
+	return nil
 }
 
 // apiError is a submission failure with its HTTP status, an optional
@@ -369,12 +468,12 @@ type JobResult struct {
 	TraceID string `json:"trace_id,omitempty"`
 }
 
-func resultFrom(key simcache.Key, spec JobSpec, e simcache.Entry, cached, coalesced bool) JobResult {
+func resultFrom(key simcache.Key, workloadID string, e simcache.Entry, cached, coalesced bool) JobResult {
 	return JobResult{
 		Key:       key.String(),
 		Cached:    cached,
 		Coalesced: coalesced,
-		Workload:  spec.WorkloadID(),
+		Workload:  workloadID,
 		Policy:    e.Policy,
 		Blocks:    e.Blocks,
 		Counters:  e.Counters,
@@ -389,12 +488,8 @@ func resultFrom(key simcache.Key, spec JobSpec, e simcache.Entry, cached, coales
 func (s *Server) Submit(ctx context.Context, spec JobSpec) (JobResult, error) {
 	tr := obs.TraceFrom(ctx)
 	admitStart := time.Now()
-	if s.draining.Load() {
-		return JobResult{}, &apiError{status: http.StatusServiceUnavailable, msg: "server is draining"}
-	}
-	if err := s.opts.Faults.FireCtx(ctx, faults.SiteServerAdmit); err != nil {
-		return JobResult{}, &apiError{status: http.StatusServiceUnavailable,
-			msg: "admission fault: " + err.Error()}
+	if err := s.preflight(ctx); err != nil {
+		return JobResult{}, err
 	}
 	cfg, err := spec.Config()
 	if err != nil {
@@ -412,7 +507,17 @@ func (s *Server) Submit(ctx context.Context, spec JobSpec) (JobResult, error) {
 		return JobResult{}, &apiError{status: http.StatusBadRequest, msg: err.Error()}
 	}
 	key := simcache.KeyOf(cfg, kernel, spec.WorkloadID())
+	return s.execute(ctx, tr, admitStart, key, cfg, kernel,
+		spec.WorkloadID(), s.jobTimeout(spec.TimeoutMS))
+}
 
+// execute is the submission tail shared by Submit (catalogued
+// workloads) and SubmitKernel (untrusted assembly): quarantine check,
+// cache lookup, singleflight coalescing, fair-queue enqueue with
+// tenant quotas, then the wait and error mapping.
+func (s *Server) execute(ctx context.Context, tr *obs.Trace, admitStart time.Time,
+	key simcache.Key, cfg config.Config, kernel *sm.Kernel,
+	workloadID string, timeout time.Duration) (JobResult, error) {
 	s.mu.Lock()
 	reason, quarantined := s.quarantine[key]
 	s.mu.Unlock()
@@ -433,7 +538,7 @@ func (s *Server) Submit(ctx context.Context, spec JobSpec) (JobResult, error) {
 	e, hit := s.cache.Get(key)
 	cacheEnd()
 	if hit {
-		res := resultFrom(key, spec, e, true, false)
+		res := resultFrom(key, workloadID, e, true, false)
 		res.TraceID = obs.TraceIDFrom(ctx)
 		return res, nil
 	}
@@ -452,20 +557,20 @@ func (s *Server) Submit(ctx context.Context, spec JobSpec) (JobResult, error) {
 		s.coalesced.Add(1)
 		dedupEnd()
 	} else {
-		flCtx, cancel := context.WithTimeout(s.baseCtx, s.jobTimeout(spec))
+		flCtx, cancel := context.WithTimeout(s.baseCtx, timeout)
 		flCtx = obs.WithTrace(flCtx, tr)
 		fl = &flight{ctx: flCtx, cancel: cancel, done: make(chan struct{}), waiters: 1}
 		s.flights[key] = fl
 		s.mu.Unlock()
 		dedupEnd()
 
+		tenant := s.tenantNames.canon(tenantFrom(ctx))
 		s.taskWG.Add(1)
-		select {
-		case s.queue <- task{fl: fl, key: key, cfg: cfg, kernel: kernel,
-			workload: spec.WorkloadID(), enqueued: time.Now()}:
-		default:
-			// Backpressure: the queue is full. Retire the flight we just
-			// registered and tell the client to retry later.
+		if qerr := s.queue.push(tenant, task{fl: fl, key: key, cfg: cfg, kernel: kernel,
+			workload: workloadID, tenant: tenant, enqueued: time.Now()}); qerr != nil {
+			// Backpressure: the shared queue is full, or this tenant is
+			// over its queued quota. Retire the flight we just registered
+			// and tell the client to retry later.
 			s.taskWG.Done()
 			s.mu.Lock()
 			delete(s.flights, key)
@@ -473,13 +578,18 @@ func (s *Server) Submit(ctx context.Context, spec JobSpec) (JobResult, error) {
 			fl.cancel()
 			s.rejected.Add(1)
 			ra := s.retryAfterSec()
+			msg := "job queue is full, retry later"
+			if errors.Is(qerr, errTenantFull) {
+				msg = "tenant queue quota exceeded, retry later"
+			}
 			return JobResult{}, &apiError{
 				status:     http.StatusTooManyRequests,
-				msg:        "job queue is full, retry later",
+				msg:        msg,
 				retryAfter: ra,
 				extra: map[string]any{
-					"queue_depth":     len(s.queue),
-					"queue_cap":       cap(s.queue),
+					"tenant":          tenant,
+					"queue_depth":     s.queue.Len(),
+					"queue_cap":       s.queue.Cap(),
 					"retry_after_sec": ra,
 				},
 			}
@@ -504,6 +614,35 @@ func (s *Server) Submit(ctx context.Context, spec JobSpec) (JobResult, error) {
 				extra:  map[string]any{"quarantined": true, "key": key.String()},
 			}
 		}
+		var de *sm.DeadlockError
+		if errors.As(fl.err, &de) {
+			// Structural deadlock: deterministic and the program's own
+			// fault (admission admits statically-sound shapes that can
+			// still deadlock dynamically, e.g. twin BSYNCs on divergent
+			// paths), so it maps to 422 like a budget kill.
+			return JobResult{}, &apiError{
+				status: http.StatusUnprocessableEntity,
+				msg:    fmt.Sprintf("kernel deadlocked: sm %d at cycle %d", de.SM, de.Cycle),
+				extra:  map[string]any{"deadlock": true, "cycle": de.Cycle},
+			}
+		}
+		var be *sm.BudgetError
+		if errors.As(fl.err, &be) {
+			// Deterministic gas kill: the job is well-defined but exceeds
+			// its resource budget, and re-running it will die at exactly
+			// the same point. 422 (like quarantine) rather than 5xx: the
+			// problem is the submission, not the service.
+			return JobResult{}, &apiError{
+				status: http.StatusUnprocessableEntity,
+				msg:    "budget exhausted: " + fl.err.Error(),
+				extra: map[string]any{
+					"budget_exhausted": be.Resource,
+					"limit":            be.Limit,
+					"used":             be.Used,
+					"cycle":            be.Cycle,
+				},
+			}
+		}
 		switch {
 		case errors.Is(fl.err, context.DeadlineExceeded):
 			return JobResult{}, &apiError{status: http.StatusGatewayTimeout,
@@ -515,7 +654,7 @@ func (s *Server) Submit(ctx context.Context, spec JobSpec) (JobResult, error) {
 			return JobResult{}, &apiError{status: http.StatusInternalServerError, msg: fl.err.Error()}
 		}
 	}
-	res := resultFrom(key, spec, fl.entry, false, joined)
+	res := resultFrom(key, workloadID, fl.entry, false, joined)
 	res.TraceID = obs.TraceIDFrom(ctx)
 	return res, nil
 }
@@ -532,7 +671,7 @@ func (s *Server) retryAfterSec() int {
 	if n == 0 {
 		return 1
 	}
-	ahead := int64(len(s.queue)) + s.inFlight.Load() + 1
+	ahead := int64(s.queue.Len()) + s.inFlight.Load() + 1
 	sec := math.Ceil(float64(p95us) / 1e6 * float64(ahead) / float64(s.opts.Workers))
 	switch {
 	case sec < 1:
@@ -560,11 +699,11 @@ func (s *Server) Drain(ctx context.Context) error {
 	case <-finished:
 	case <-ctx.Done():
 		err = fmt.Errorf("server: drain deadline passed, cancelling %d jobs: %w",
-			s.inFlight.Load()+int64(len(s.queue)), ctx.Err())
+			s.inFlight.Load()+int64(s.queue.Len()), ctx.Err())
 		s.cancelBase()
 		<-finished
 	}
-	close(s.queue)
+	s.queue.close()
 	s.workerWG.Wait()
 	s.cancelBase()
 	return err
@@ -582,6 +721,7 @@ type Metrics struct {
 	JobsDone         int64          `json:"jobs_done"`
 	JobsFailed       int64          `json:"jobs_failed"`
 	Rejected         int64          `json:"rejected"`
+	RateLimited      int64          `json:"rate_limited"`
 	Coalesced        int64          `json:"coalesced"`
 	Panics           int64          `json:"panics"`
 	QuarantinedKeys  int            `json:"quarantined_keys"`
@@ -635,13 +775,14 @@ func (s *Server) MetricsSnapshot() Metrics {
 		UptimeSec:        time.Since(s.start).Seconds(),
 		Draining:         s.draining.Load(),
 		Workers:          s.opts.Workers,
-		QueueDepth:       len(s.queue),
-		QueueCap:         cap(s.queue),
+		QueueDepth:       s.queue.Len(),
+		QueueCap:         s.queue.Cap(),
 		JobsInFlight:     s.inFlight.Load(),
 		JobsTotal:        s.jobsTotal.Load(),
 		JobsDone:         s.jobsDone.Load(),
 		JobsFailed:       s.jobsFailed.Load(),
 		Rejected:         s.rejected.Load(),
+		RateLimited:      s.rateLimited.Load(),
 		Coalesced:        s.coalesced.Load(),
 		Panics:           s.panics.Load(),
 		QuarantinedKeys:  quarantined,
@@ -679,10 +820,14 @@ func (s *Server) MetricsSnapshot() Metrics {
 //	GET  /v1/apps        application trace catalogue
 //	POST /v1/jobs        run one JobSpec
 //	POST /v1/batch       run {"jobs": [JobSpec...]}, coalescing duplicates
+//	POST /v1/submit      validate and run one untrusted SubmitSpec kernel
 //
 // Every request is traced: a client-provided X-Trace-ID header is
 // adopted (else one is generated), echoed on the response, propagated
 // through the job path via context, and retained in /debug/traces.
+// Every request also carries a tenant identity (the X-Tenant header,
+// DefaultTenant when absent) that keys the rate limiter, the queue
+// quotas, and weighted-fair dequeue.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -693,6 +838,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/apps", s.handleApps)
 	mux.HandleFunc("POST /v1/jobs", s.handleJob)
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	mux.HandleFunc("POST /v1/submit", s.handleSubmit)
 	return s.traceMiddleware(mux)
 }
 

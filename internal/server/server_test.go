@@ -155,7 +155,7 @@ func TestQueueBackpressure(t *testing.T) {
 	}
 	<-started // worker is busy; the second job sits in the queue
 
-	waitFor(t, func() bool { return len(s.queue) == 1 })
+	waitFor(t, func() bool { return s.queue.Len() == 1 })
 	body, _ := json.Marshal(JobSpec{Microbench: 4})
 	resp, err := ts.Client().Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
 	if err != nil {

@@ -86,6 +86,14 @@ func KeyOf(cfg config.Config, k *sm.Kernel, workloadID string) Key {
 	fmt.Fprintf(h, "warps=%d;warpsPerCTA=%d;", k.NumWarps, k.WarpsPerCTA)
 	fmt.Fprintf(h, "mem=%#x;", k.Memory.Fingerprint())
 	fmt.Fprintf(h, "workload=%s;", workloadID)
+	// The gas budget changes the observable outcome (a budget-killed run
+	// has different — partial — results than a larger-budget run of the
+	// same program), so it is part of the content address. Keyed only
+	// when metering is enabled, mirroring the SchedPolicy rule: every
+	// pre-budget cache entry stays valid for unmetered runs.
+	if b := k.Budget; b.Enabled() {
+		fmt.Fprintf(h, "budget=%d,%d,%d;", b.MaxCycles, b.MaxInstrs, b.MaxMemBytes)
+	}
 	var key Key
 	h.Sum(key[:0])
 	return key

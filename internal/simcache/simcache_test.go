@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"subwarpsim/internal/config"
+	"subwarpsim/internal/sm"
 	"subwarpsim/internal/stats"
 	"subwarpsim/internal/trace"
 	"subwarpsim/internal/workload"
@@ -227,5 +228,38 @@ func TestDiskPersistsAcrossInstances(t *testing.T) {
 	c2 := NewDisk(dir)
 	if got, ok := c2.Get(keyN(5)); !ok || got.Counters.Cycles != 777 {
 		t.Errorf("entry must survive across cache instances: %+v, %v", got, ok)
+	}
+}
+
+// TestKeyBudget pins the budget-keying rule that closes the ISSUE 9
+// collision: a budget-killed partial result must never be served for a
+// request with a different (e.g. larger) budget, so enabled budgets
+// are part of the content address — while nil or all-zero budgets hash
+// exactly like the pre-budget encoding, keeping the existing cache
+// corpus valid.
+func TestKeyBudget(t *testing.T) {
+	cfg := config.Default()
+	mk := func(b *sm.Budget) Key {
+		k, err := workload.Microbench(workload.DefaultMicrobench(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		k.Budget = b
+		return KeyOf(cfg, k, "micro/4")
+	}
+	base := mk(nil)
+	if k := mk(&sm.Budget{}); k != base {
+		t.Error("an all-zero (unlimited) budget must not change the key")
+	}
+	small := mk(&sm.Budget{MaxCycles: 1000})
+	large := mk(&sm.Budget{MaxCycles: 1_000_000})
+	if small == base || large == base {
+		t.Error("an enabled budget must change the key")
+	}
+	if small == large {
+		t.Error("different budgets must not collide: a budget-killed partial result would be served for the larger budget")
+	}
+	if a, b := mk(&sm.Budget{MaxInstrs: 500}), mk(&sm.Budget{MaxMemBytes: 500}); a == b {
+		t.Error("budgets differing only in resource must not collide")
 	}
 }

@@ -186,6 +186,49 @@ func TestCompiledSteadyStateZeroAlloc(t *testing.T) {
 	})
 }
 
+// TestBudgetedSteadyStateZeroAlloc pins the gas meter's hot-loop
+// contract: with a budget attached, the per-iteration work RunContext
+// adds — budgetExceeded plus clampBudgetHorizon on every fast-forward
+// window — must stay allocation-free until the kill actually fires
+// (only the terminal *BudgetError may allocate).
+func TestBudgetedSteadyStateZeroAlloc(t *testing.T) {
+	cfg := testConfig()
+	s := allocSM(t, cfg, straightLine(100000), 4)
+	s.budget = &Budget{MaxCycles: 1 << 40, MaxInstrs: 1 << 40, MaxMemBytes: 1 << 40}
+	blk := s.blocks[0]
+	now := int64(0)
+	cycle := func() {
+		if be := s.budgetExceeded(now); be != nil {
+			t.Fatalf("generous budget killed the run: %v", be)
+		}
+		issued, next := blk.step(now)
+		h := s.ffHorizon(now, next, issued)
+		if h > now+1 {
+			h = s.clampBudgetHorizon(now, h)
+		}
+		if h > now+1 {
+			if blk.lastPick >= 0 {
+				blk.ffCommit(h-now-1, h)
+			} else {
+				blk.skipIdle(h-now-1, h)
+			}
+			now = h
+		} else {
+			now++
+		}
+	}
+	for i := 0; i < 512; i++ {
+		cycle()
+	}
+	avg := testing.AllocsPerRun(200, cycle)
+	if avg != 0 {
+		t.Fatalf("budgeted steady-state loop allocates %.1f times per iteration, want 0", avg)
+	}
+	if blk.done {
+		t.Fatal("kernel finished inside the measured window; enlarge the program")
+	}
+}
+
 // BenchmarkBlockStep measures one scheduler cycle on an ALU-dense
 // multi-warp block (the simulator's innermost loop).
 func BenchmarkBlockStep(b *testing.B) {

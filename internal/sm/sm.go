@@ -31,6 +31,10 @@ type Kernel struct {
 	// TRACE.
 	BVH    *rtcore.BVH
 	RayGen rtcore.RayGen
+	// Budget, when non-nil, gas-meters the launch: each SM independently
+	// enforces the limits and kills the run with a *BudgetError at a
+	// deterministic point (see Budget). Nil means unmetered.
+	Budget *Budget
 }
 
 // CTASize returns threads per CTA.
@@ -102,6 +106,10 @@ type SM struct {
 	// of Run; gpu.Run sets it and publishes every SM's view itself, in
 	// SM order, after all SMs finish.
 	deferPublish bool
+
+	// budget is the kernel's gas limit (nil when unmetered); checked at
+	// the top of each RunContext iteration, never inside Block.step.
+	budget *Budget
 }
 
 // NewSM builds an SM for the given kernel. The configuration must be
@@ -125,6 +133,9 @@ func NewSM(id int, cfg config.Config, kernel *Kernel) (*SM, error) {
 		l1i:    mem.NewCache("L1I", cfg.L1InstrBytes, 8, cfg.CacheLineBytes),
 		l1d:    mem.NewCache("L1D", cfg.L1DataBytes, 8, cfg.CacheLineBytes),
 		mem:    kernel.Memory.NewView(),
+	}
+	if kernel.Budget.Enabled() {
+		s.budget = kernel.Budget
 	}
 	if kernel.BVH != nil && kernel.RayGen != nil {
 		s.rt = rtcore.NewCore(kernel.BVH, kernel.RayGen,
@@ -231,6 +242,14 @@ func (s *SM) RunContext(ctx context.Context, maxCycles int64) (stats.Counters, e
 				return s.merge(), fmt.Errorf("sm %d: cancelled at cycle %d: %w", s.id, now, err)
 			}
 		}
+		if s.budget != nil {
+			// Gas metering: checked before stepping so the kill point
+			// depends only on committed simulation state, which is
+			// bit-identical across engines and worker counts.
+			if be := s.budgetExceeded(now); be != nil {
+				return s.merge(), be
+			}
+		}
 		allDone := true
 		anyIssued := false
 		next := int64(math.MaxInt64)
@@ -252,7 +271,14 @@ func (s *SM) RunContext(ctx context.Context, maxCycles int64) (stats.Counters, e
 		}
 		switch {
 		case anyIssued || next <= now+1:
-			if h := s.ffHorizon(now, next, anyIssued); h > now+1 {
+			h := s.ffHorizon(now, next, anyIssued)
+			if s.budget != nil && h > now+1 {
+				// Shrink the window so no budget limit can be crossed
+				// inside it; crossings then surface at stepped cycles,
+				// identically in both engines (see clampBudgetHorizon).
+				h = s.clampBudgetHorizon(now, h)
+			}
+			if h > now+1 {
 				// Basic-block fast-forward: every issuing block retires its
 				// warp's straight-line simple run in bulk and every idle
 				// block accounts the same window as idle cycles; nothing
@@ -273,7 +299,7 @@ func (s *SM) RunContext(ctx context.Context, maxCycles int64) (stats.Counters, e
 				now++
 			}
 		case next == math.MaxInt64:
-			return s.merge(), fmt.Errorf("sm %d: deadlock at cycle %d\n%s", s.id, now, s.dumpState())
+			return s.merge(), &DeadlockError{SM: s.id, Cycle: now, State: s.dumpState()}
 		default:
 			// Cycles now+1 .. next-1 are provably idle everywhere.
 			gap := next - now - 1

@@ -81,6 +81,18 @@ func DefaultConfig() Config { return config.Default() }
 // Kernel is one launch: a program plus its functional resources.
 type Kernel = sm.Kernel
 
+// Budget gas-meters a kernel launch (see Kernel.Budget): per-SM limits
+// on simulated cycles, retired instructions, and memory footprint.
+type Budget = sm.Budget
+
+// BudgetError reports a deterministic gas kill; DeadlockError a
+// structural deadlock. Both are the submission's fault, and both occur
+// at bit-identical points across engines and worker counts.
+type (
+	BudgetError   = sm.BudgetError
+	DeadlockError = sm.DeadlockError
+)
+
 // Result is the outcome of a simulation.
 type Result = gpu.Result
 

@@ -77,6 +77,24 @@ echo "== observability gate =="
 go test -count=1 -run 'TestMetricsContentNegotiation|TestTraceIDPropagationEndToEnd|TestDebugEvents|TestBreakerTransitionEvents' ./internal/server
 go test -count=1 -run 'TestServingConfigZeroAlloc|TestBlockStepSteadyStateZeroAlloc' ./internal/sm
 
+echo "== sandbox gate =="
+# The untrusted-kernel pipeline end to end. First the static and
+# dynamic layers in isolation: the admission fuzzer's seed corpus, the
+# budget-kill bit-identity differentials (engines and worker counts),
+# and the budget-aware cache keys. Then the live gauntlet: a
+# race-enabled sisimd is fed the entire hostile corpus over
+# POST /v1/submit — every program must be rejected with a structured
+# reason or killed within its gas budget, the daemon must stay healthy
+# and keep serving well-formed work, and the sample kernels in
+# examples/submissions must run through sisim -submit, which applies
+# the identical admission checks and budgets locally.
+go test -race -count=1 ./internal/admission
+go test -race -count=1 -run 'TestBudget|TestKeyBudget' \
+    ./internal/gpu ./internal/simcache
+go test -count=1 -run 'TestBudgetedSteadyStateZeroAlloc' ./internal/sm
+go test -count=1 -run 'TestDaemonSubmitSandbox' -timeout 10m ./cmd/sisimd
+go test -count=1 -run 'TestCLISubmitSamples|TestCLISubmitSandbox' ./cmd/sisim
+
 echo "== chaos gate =="
 # The fault-injection suites, twice each under the race detector, with
 # two fixed chaos seeds: seeded fault schedules must replay
