@@ -9,6 +9,13 @@
 // "Serving" and "Submitting kernels"; the -tenant-* flags configure
 // per-tenant rate limits, quotas, and weighted-fair scheduling keyed
 // by the X-Tenant request header.
+//
+// With -peers (or -coordinator) the daemon fronts a cluster instead:
+// submissions are consistent-hashed by content key across the listed
+// worker daemons so each key's results stay hot in one node's memory
+// cache, with per-peer circuit breakers, batch scatter-gather with
+// work stealing, and local single-node fallback when every peer is
+// down. See README "Running a cluster".
 package main
 
 import (
@@ -26,6 +33,7 @@ import (
 	"syscall"
 	"time"
 
+	"subwarpsim/internal/cluster"
 	"subwarpsim/internal/faults"
 	"subwarpsim/internal/obs"
 	"subwarpsim/internal/server"
@@ -103,6 +111,13 @@ func main() {
 	submitMaxCycles := flag.Int64("submit-max-cycles", 0, "hard cap on a submission's cycle budget (0 = built-in 20M)")
 	submitMaxInstrs := flag.Int64("submit-max-instrs", 0, "hard cap on a submission's instruction budget (0 = built-in 100M)")
 	submitMaxMem := flag.Int64("submit-max-mem", 0, "hard cap on a submission's memory footprint in bytes (0 = built-in 64MiB)")
+	coordinator := flag.Bool("coordinator", false, "run as a cluster coordinator over -peers instead of simulating locally")
+	peersFlag := flag.String("peers", "", "comma-separated worker base URLs (http://host:port); implies -coordinator")
+	advertise := flag.String("advertise", "", "coordinator's advertised name in GET /cluster and logs (default \"coordinator\")")
+	hedgeAfter := flag.Duration("hedge-after", 0, "duplicate a routed request to the next ring node if the home peer hasn't answered within this duration (0 = off)")
+	peerWindow := flag.Int("peer-window", 4, "per-peer in-flight window for batch scatter-gather")
+	ringVNodes := flag.Int("ring-vnodes", 64, "virtual nodes per peer on the consistent-hash ring")
+	ringLoad := flag.Float64("ring-load-factor", 1.25, "bounded-load factor: a peer loaded past ceil(factor*(inflight+1)/alive) yields hot keys to ring successors")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (off by default)")
 	logLevel := flag.String("log-level", "info", "structured log level: debug, info, warn, error, off")
 	eventRing := flag.Int("events", 256, "debug-event ring size (GET /debug/events)")
@@ -159,6 +174,7 @@ func main() {
 		fail(fmt.Errorf("-tenant-weights: %w", err))
 	}
 
+	observer := obs.New(server.MetricsNamespace, *eventRing, *traceKeep, logger)
 	srv := server.New(server.Options{
 		Workers:           *workers,
 		QueueDepth:        *queue,
@@ -167,7 +183,7 @@ func main() {
 		MaxTimeout:        *maxTimeout,
 		Cache:             cache,
 		Faults:            injector,
-		Obs:               obs.New(server.MetricsNamespace, *eventRing, *traceKeep, logger),
+		Obs:               observer,
 		Interpret:         !compiled,
 		TenantRate:        *tenantRate,
 		TenantBurst:       *tenantBurst,
@@ -181,6 +197,21 @@ func main() {
 		},
 	})
 
+	// Coordinator mode: the same daemon binary fronts a ring of worker
+	// daemons, sharing the local server's Observer so /metrics and
+	// /debug/traces unify routing and execution. The local server stays
+	// fully functional underneath — it is the single-node fallback when
+	// every peer is down.
+	var peers []string
+	for _, p := range strings.Split(*peersFlag, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peers = append(peers, p)
+		}
+	}
+	if *coordinator && len(peers) == 0 {
+		fail(fmt.Errorf("-coordinator requires -peers"))
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fail(err)
@@ -190,6 +221,24 @@ func main() {
 	// didn't explicitly ask. The handlers are registered on a wrapping
 	// mux rather than via net/http/pprof's DefaultServeMux side effect.
 	handler := srv.Handler()
+	if len(peers) > 0 {
+		co, err := cluster.New(cluster.Options{
+			Self:       *advertise,
+			Peers:      peers,
+			Local:      srv,
+			Obs:        observer,
+			VNodes:     *ringVNodes,
+			LoadFactor: *ringLoad,
+			Window:     *peerWindow,
+			HedgeAfter: *hedgeAfter,
+			TripAfter:  *breakerTrip,
+			Cooldown:   *breakerCooldown,
+		})
+		if err != nil {
+			fail(err)
+		}
+		handler = co.Handler()
+	}
 	if *pprofOn {
 		mux := http.NewServeMux()
 		mux.Handle("/", handler)
@@ -204,6 +253,9 @@ func main() {
 
 	// The smoke test and scripts parse this line for the bound port.
 	fmt.Printf("sisimd listening on %s\n", ln.Addr())
+	if len(peers) > 0 {
+		fmt.Printf("sisimd: coordinating %d peers: %s\n", len(peers), strings.Join(peers, ", "))
+	}
 	if injector != nil {
 		fmt.Printf("sisimd: fault injection active: %s\n", injector)
 	}

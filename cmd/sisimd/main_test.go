@@ -5,11 +5,13 @@ import (
 	"bytes"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"syscall"
 	"testing"
@@ -481,6 +483,13 @@ func TestDaemonSubmitSandbox(t *testing.T) {
 // startDaemon launches the built binary with extra flags and returns
 // the base URL; cleanup SIGTERMs it and waits for the drain.
 func startDaemon(t *testing.T, bin string, extra ...string) string {
+	base, _ := startDaemonCmd(t, bin, extra...)
+	return base
+}
+
+// startDaemonCmd also returns the process handle so tests can kill a
+// daemon mid-run (the cluster reroute test).
+func startDaemonCmd(t *testing.T, bin string, extra ...string) (string, *exec.Cmd) {
 	t.Helper()
 	args := append([]string{"-addr", "127.0.0.1:0"}, extra...)
 	cmd := exec.Command(bin, args...)
@@ -506,7 +515,107 @@ func startDaemon(t *testing.T, bin string, extra ...string) string {
 		for sc.Scan() {
 		}
 	}()
-	return base
+	return base, cmd
+}
+
+// TestDaemonCluster drives the coordinator topology end to end with
+// real daemon processes: two workers plus a coordinator routing across
+// them. Checks content-key affinity (a repeated job is a cache hit
+// through the coordinator), /cluster reporting, and rerouting — after
+// one worker is SIGKILLed, every key still answers with the results
+// computed before the kill, bit for bit.
+func TestDaemonCluster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the daemon binary")
+	}
+	bin := buildDaemon(t)
+
+	w1base, w1 := startDaemonCmd(t, bin, "-workers", "1")
+	w2base, _ := startDaemonCmd(t, bin, "-workers", "1")
+	cobase, _ := startDaemonCmd(t, bin, "-coordinator",
+		"-peers", w1base+","+w2base, "-breaker-trip", "1", "-workers", "1")
+
+	post := func(spec string) (map[string]any, int) {
+		t.Helper()
+		resp, err := http.Post(cobase+"/v1/jobs", "application/json", strings.NewReader(spec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var res map[string]any
+		if resp.StatusCode == http.StatusOK {
+			if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return res, resp.StatusCode
+	}
+
+	resp, err := http.Get(cobase + "/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report struct {
+		Peers []struct {
+			State string `json:"breaker_state"`
+		} `json:"peers"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&report); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(report.Peers) != 2 {
+		t.Fatalf("/cluster lists %d peers, want 2", len(report.Peers))
+	}
+
+	// Sweep distinct keys, then repeat: affinity must make every repeat
+	// a worker-side cache hit through the coordinator.
+	specs := make([]string, 6)
+	for i := range specs {
+		specs[i] = `{"microbench":4,"si":true,"latency_cycles":` + strconv.Itoa(200+10*i) + `}`
+	}
+	first := make([]map[string]any, len(specs))
+	for i, spec := range specs {
+		res, code := post(spec)
+		if code != http.StatusOK {
+			t.Fatalf("first pass POST = %d", code)
+		}
+		first[i] = res
+	}
+	for i, spec := range specs {
+		res, code := post(spec)
+		if code != http.StatusOK {
+			t.Fatalf("second pass POST = %d", code)
+		}
+		if res["cached"] != true {
+			t.Errorf("repeat of spec %d not served from cache (affinity broken)", i)
+		}
+		if res["key"] != first[i]["key"] {
+			t.Errorf("spec %d key changed between passes", i)
+		}
+	}
+
+	// Kill one worker outright; every key must still answer, identical
+	// to the pre-kill result (rerouted to the surviving worker or, for
+	// its cached keys, re-simulated there — determinism makes both
+	// indistinguishable).
+	if err := w1.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	w1.Wait()
+	for i, spec := range specs {
+		res, code := post(spec)
+		if code != http.StatusOK {
+			t.Fatalf("post-kill POST %d = %d", i, code)
+		}
+		if res["key"] != first[i]["key"] {
+			t.Errorf("spec %d key differs after worker kill", i)
+		}
+		if fmt.Sprint(res["counters"]) != fmt.Sprint(first[i]["counters"]) {
+			t.Errorf("spec %d counters differ after worker kill:\n  before %v\n  after  %v",
+				i, first[i]["counters"], res["counters"])
+		}
+	}
 }
 
 // TestDaemonPprofGating: /debug/pprof/ must 404 by default and serve

@@ -1,0 +1,612 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"subwarpsim/internal/obs"
+	"subwarpsim/internal/server"
+	"subwarpsim/internal/simcache"
+)
+
+// Options tunes a Coordinator. Local and Peers are required for a
+// useful cluster; everything else has serving defaults.
+type Options struct {
+	// Self is the coordinator's advertised name (shown in /cluster and
+	// logs); "" means "coordinator".
+	Self string
+	// Peers are the worker daemons' base URLs (http://host:port).
+	Peers []string
+	// Local is the in-process server used for single-node fallback when
+	// every peer is down, and whose Handler serves the non-routed
+	// endpoints (/metrics, /healthz, /debug/*, /v1/apps).
+	Local *server.Server
+	// Obs is the observability plane. Share the Local server's Observer
+	// so /metrics and /debug/traces unify coordinator and local series;
+	// nil creates a standalone one.
+	Obs *obs.Observer
+
+	// VNodes is the virtual-node count per peer (0 means 64).
+	VNodes int
+	// LoadFactor is the bounded-load limit: a peer is skipped as a
+	// key's first choice while its in-flight count exceeds
+	// ceil(LoadFactor * (total+1) / alive). 0 means 1.25.
+	LoadFactor float64
+	// Window is the per-peer in-flight window for batch scatter-gather
+	// (concurrent shards per peer). 0 means 4.
+	Window int
+	// MaxBatch bounds jobs per batch request (0 means 256), mirroring
+	// the single-node limit.
+	MaxBatch int
+	// HedgeAfter, when positive, fires a duplicate of a routed request
+	// to the next ring node if the first answers no sooner. Safe because
+	// results are bit-identical; the first usable answer wins.
+	HedgeAfter time.Duration
+	// TripAfter and Cooldown tune each peer's circuit breaker
+	// (simcache.Breaker defaults apply when 0).
+	TripAfter int
+	Cooldown  time.Duration
+	// Client overrides the peer HTTP client (tests inject
+	// httptest servers' clients); nil uses a 2-minute-timeout default.
+	Client *http.Client
+	// MaxAttempts bounds how many distinct peers one request tries
+	// before falling back; 0 means every peer.
+	MaxAttempts int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Self == "" {
+		o.Self = "coordinator"
+	}
+	if o.VNodes <= 0 {
+		o.VNodes = 64
+	}
+	if o.LoadFactor < 1 {
+		o.LoadFactor = 1.25
+	}
+	if o.Window <= 0 {
+		o.Window = 4
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 256
+	}
+	if o.Obs == nil {
+		o.Obs = obs.New(server.MetricsNamespace, 256, 64, nil)
+	}
+	if o.Client == nil {
+		o.Client = &http.Client{Timeout: 2 * time.Minute}
+	}
+	return o
+}
+
+// Coordinator routes jobs across the peer ring. Create with New and
+// serve Handler().
+type Coordinator struct {
+	opts  Options
+	ring  *Ring
+	peers map[string]*peer
+	obs   *obs.Observer
+	local http.Handler
+
+	// keyMemo caches JobSpec -> ring hash: computing a content key
+	// builds the kernel, far too expensive per request. JobSpec is
+	// comparable, so specs index directly; the map is reset wholesale at
+	// the bound (sweep working sets are far smaller).
+	keyMu   sync.Mutex
+	keyMemo map[server.JobSpec]uint64
+
+	hedges    *obs.Counter
+	steals    *obs.Counter
+	reroutes  *obs.Counter
+	fallbacks *obs.Counter
+	batches   *obs.Counter
+}
+
+const keyMemoMax = 4096
+
+// New builds a Coordinator over opts.Peers. opts.Local must be set.
+func New(opts Options) (*Coordinator, error) {
+	opts = opts.withDefaults()
+	if opts.Local == nil {
+		return nil, fmt.Errorf("cluster: Options.Local is required")
+	}
+	c := &Coordinator{
+		opts:    opts,
+		peers:   make(map[string]*peer, len(opts.Peers)),
+		obs:     opts.Obs,
+		local:   opts.Local.Handler(),
+		keyMemo: make(map[server.JobSpec]uint64),
+	}
+	names := make([]string, 0, len(opts.Peers))
+	for _, raw := range opts.Peers {
+		name := peerName(raw)
+		if _, dup := c.peers[name]; dup {
+			return nil, fmt.Errorf("cluster: duplicate peer %q", name)
+		}
+		p := &peer{
+			name: name,
+			url:  trimSlash(raw),
+			br:   &simcache.Breaker{TripAfter: opts.TripAfter, Cooldown: opts.Cooldown},
+			reqs: make(map[string]*obs.Counter, len(outcomes)),
+		}
+		c.wirePeer(p)
+		c.peers[name] = p
+		names = append(names, name)
+	}
+	c.ring = NewRing(names, opts.VNodes)
+	c.registerMetrics()
+	return c, nil
+}
+
+// trimSlash trims trailing slashes so p.url+path is well-formed.
+func trimSlash(u string) string {
+	for len(u) > 0 && u[len(u)-1] == '/' {
+		u = u[:len(u)-1]
+	}
+	return u
+}
+
+// wirePeer hooks one peer's breaker transitions into the debug-event
+// ring and log — the same treatment the disk-cache breaker gets.
+func (c *Coordinator) wirePeer(p *peer) {
+	ring, log := c.obs.Ring, c.obs.Logger()
+	name := p.name
+	p.br.OnStateChange = func(from, to simcache.BreakerState) {
+		ring.Add(obs.EventBreaker, "", "cluster.peer."+name, from.String()+" -> "+to.String())
+		log.Warn("peer breaker transition", "peer", name, "from", from.String(), "to", to.String())
+	}
+}
+
+// registerMetrics pre-registers every per-peer series (the peer and
+// outcome sets are closed) plus the cluster-wide counters.
+func (c *Coordinator) registerMetrics() {
+	r := c.obs.Reg
+	ns := server.MetricsNamespace
+	for name, p := range c.peers {
+		for _, oc := range outcomes {
+			p.reqs[oc] = r.CounterWith(ns+"_peer_requests_total",
+				"Coordinator-to-peer requests by peer and outcome.",
+				"peer", name, "outcome", oc)
+		}
+		pp, nm := p, name
+		r.GaugeFuncWith(ns+"_peer_inflight",
+			"Requests currently in flight to each peer.",
+			func() float64 { return float64(pp.inflight.Load()) }, "peer", nm)
+		r.GaugeFuncWith(ns+"_peer_breaker_state",
+			"Peer circuit breaker state: 0 closed, 1 open, 2 half-open.",
+			func() float64 { return float64(pp.br.State()) }, "peer", nm)
+		r.GaugeFuncWith(ns+"_ring_ownership",
+			"Fraction of the key hash space owned by each peer.",
+			func() float64 { return c.ring.OwnedFraction(nm) }, "peer", nm)
+	}
+	c.hedges = r.Counter(ns+"_cluster_hedges_total",
+		"Duplicate requests fired to a second peer after HedgeAfter.")
+	c.steals = r.Counter(ns+"_cluster_steals_total",
+		"Batch shards migrated from a lagging peer's queue to an idle peer.")
+	c.reroutes = r.Counter(ns+"_cluster_reroutes_total",
+		"Requests moved to the next ring node after a peer failure.")
+	c.fallbacks = r.Counter(ns+"_cluster_local_fallback_total",
+		"Requests served by the local node because every peer was unavailable.")
+	c.batches = r.Counter(ns+"_cluster_batch_jobs_total",
+		"Batch shards scattered across the cluster.")
+}
+
+// jobHash returns the ring position of a job spec — the first 8 bytes
+// of its simcache content key — memoized per spec. ok=false means the
+// spec does not produce a key (it is invalid); the caller routes it to
+// the local server for the canonical structured error.
+func (c *Coordinator) jobHash(spec server.JobSpec) (uint64, bool) {
+	c.keyMu.Lock()
+	h, ok := c.keyMemo[spec]
+	c.keyMu.Unlock()
+	if ok {
+		return h, true
+	}
+	key, err := spec.CacheKey()
+	if err != nil {
+		return 0, false
+	}
+	h = key.RouteHash()
+	c.keyMu.Lock()
+	if len(c.keyMemo) >= keyMemoMax {
+		c.keyMemo = make(map[server.JobSpec]uint64)
+	}
+	c.keyMemo[spec] = h
+	c.keyMu.Unlock()
+	return h, true
+}
+
+// submitHash positions an untrusted-kernel submission on the ring by
+// hashing its raw payload. Unlike jobHash this is not the content key
+// (computing it would mean assembling the program twice), so equal
+// submissions with different JSON field order may route to different
+// nodes — that only costs cache temperature, never correctness.
+func submitHash(payload []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(payload)
+	return h.Sum64()
+}
+
+// candidates returns the usable peers for a hash in attempt order:
+// the optional prefer peer first (a batch runner sends its own shards
+// to itself), then ring-preference order, with the bounded-load rule
+// applied to the first pick — a peer already loaded past
+// ceil(LoadFactor*(total+1)/alive) yields the primary slot to the next
+// candidate (hot keys spill to ring successors instead of pinning one
+// node). Peers with open breakers are excluded entirely.
+func (c *Coordinator) candidates(h uint64, prefer string) []*peer {
+	var cands []*peer
+	if prefer != "" {
+		if p := c.peers[prefer]; p != nil && p.br.State() != simcache.BreakerOpen {
+			cands = append(cands, p)
+		}
+	}
+	for _, name := range c.ring.Preference(h) {
+		if name == prefer {
+			continue
+		}
+		if p := c.peers[name]; p != nil && p.br.State() != simcache.BreakerOpen {
+			cands = append(cands, p)
+		}
+	}
+	if len(cands) < 2 {
+		return cands
+	}
+	// Bounded load: demote overloaded primaries.
+	var total int64
+	for _, p := range c.peers {
+		total += p.inflight.Load()
+	}
+	bound := int64(math.Ceil(c.opts.LoadFactor * float64(total+1) / float64(len(cands))))
+	for i, p := range cands {
+		if p.inflight.Load()+1 <= bound {
+			if i > 0 {
+				reordered := make([]*peer, 0, len(cands))
+				reordered = append(reordered, p)
+				for j, q := range cands {
+					if j != i {
+						reordered = append(reordered, q)
+					}
+				}
+				return reordered
+			}
+			return cands
+		}
+	}
+	// Everyone is past the bound: least-loaded first.
+	sort.SliceStable(cands, func(i, j int) bool {
+		return cands[i].inflight.Load() < cands[j].inflight.Load()
+	})
+	return cands
+}
+
+// routeSpec routes one JSON payload (a job or submission) around the
+// ring: try candidates in order, feeding breakers and rerouting on
+// peer failure, spilling past 429s, optionally hedging the first
+// attempt, and degrading to the local server when no peer can answer.
+// Returns the HTTP status and body to relay.
+func (c *Coordinator) routeSpec(ctx context.Context, tr *obs.Trace, path string,
+	payload []byte, h uint64, prefer, tenant, traceID string) (int, []byte) {
+	cands := c.candidates(h, prefer)
+	if n := c.opts.MaxAttempts; n > 0 && len(cands) > n {
+		cands = cands[:n]
+	}
+
+	var mu sync.Mutex
+	attempted := make(map[string]bool, len(cands))
+	var last429 []byte
+
+	// try performs one peer attempt. done=true means the response is
+	// final (success or a deterministic error to relay verbatim);
+	// done=false means move on (peer dead, probing denied, or 429).
+	try := func(p *peer) (status int, body []byte, done bool) {
+		// Breaker admission: closed always passes, half-open grants one
+		// probe, open denies (open peers were already filtered, but the
+		// state may have moved since).
+		if !p.br.Allow() {
+			return 0, nil, false
+		}
+		mu.Lock()
+		attempted[p.name] = true
+		mu.Unlock()
+		p.inflight.Add(1)
+		start := time.Now()
+		status, body, err := p.do(ctx, c.opts.Client, path, payload, tenant, traceID)
+		p.inflight.Add(-1)
+		tr.AddSpan("peer "+p.name+" POST "+path, start, time.Now())
+		if err != nil || retryableStatus(status) {
+			p.br.Failed()
+			p.reqs[outcomeRerouted].Inc()
+			c.reroutes.Inc()
+			detail := "status " + strconv.Itoa(status)
+			if err != nil {
+				detail = err.Error()
+			}
+			c.obs.Logger().Warn("peer attempt failed, rerouting",
+				"peer", p.name, "path", path, "detail", detail, "trace_id", traceID)
+			return 0, nil, false
+		}
+		p.br.Succeeded()
+		if status == http.StatusTooManyRequests {
+			p.reqs[outcomeThrottled].Inc()
+			mu.Lock()
+			last429 = body
+			mu.Unlock()
+			return 0, nil, false
+		}
+		p.reqs[outcomeOK].Inc()
+		return status, body, true
+	}
+
+	// Hedged first attempt: fire the primary, and if it has not
+	// answered within HedgeAfter, race the second candidate. Sound
+	// because both would return bit-identical results; the first usable
+	// response wins and the loser's goroutine finishes harmlessly
+	// (breakers and counters are concurrency-safe).
+	if c.opts.HedgeAfter > 0 && len(cands) >= 2 {
+		type outcome struct {
+			status int
+			body   []byte
+			done   bool
+		}
+		ch := make(chan outcome, 2)
+		launch := func(p *peer) {
+			go func() {
+				s, b, done := try(p)
+				ch <- outcome{s, b, done}
+			}()
+		}
+		launch(cands[0])
+		timer := time.NewTimer(c.opts.HedgeAfter)
+		launched := 1
+		select {
+		case r := <-ch:
+			timer.Stop()
+			if r.done {
+				return r.status, r.body
+			}
+		case <-timer.C:
+			c.hedges.Inc()
+			launch(cands[1])
+			launched = 2
+			for i := 0; i < launched; i++ {
+				if r := <-ch; r.done {
+					return r.status, r.body
+				}
+			}
+		}
+		// Whatever the hedge attempted is marked in `attempted`; the
+		// sequential sweep below covers the rest.
+	}
+
+	for _, p := range cands {
+		mu.Lock()
+		tried := attempted[p.name]
+		mu.Unlock()
+		if tried {
+			continue
+		}
+		if ctx.Err() != nil {
+			break
+		}
+		if status, body, done := try(p); done {
+			return status, body
+		}
+	}
+
+	mu.Lock()
+	throttled := last429
+	mu.Unlock()
+	if throttled != nil {
+		// Every reachable peer is saturated: relay the aggregate 429 with
+		// the same structured body a single node emits (queue depths,
+		// queue_wait_p95_ms, retry_after_sec), so clients back off
+		// identically against either topology.
+		return http.StatusTooManyRequests, throttled
+	}
+
+	// Every peer is dead: single-node fallback, the ladder's last rung.
+	c.fallbacks.Inc()
+	c.obs.Event(ctx, obs.EventBreaker, "cluster.fallback", "all peers unavailable, serving locally")
+	return c.localDo(ctx, path, payload, tenant, traceID)
+}
+
+// memWriter captures an in-process handler response (the local
+// pseudo-peer) without a network round trip.
+type memWriter struct {
+	code int
+	hdr  http.Header
+	buf  bytes.Buffer
+}
+
+func (m *memWriter) Header() http.Header {
+	if m.hdr == nil {
+		m.hdr = make(http.Header)
+	}
+	return m.hdr
+}
+
+func (m *memWriter) WriteHeader(code int) {
+	if m.code == 0 {
+		m.code = code
+	}
+}
+
+func (m *memWriter) Write(b []byte) (int, error) {
+	if m.code == 0 {
+		m.code = http.StatusOK
+	}
+	return m.buf.Write(b)
+}
+
+// localDo serves a routed payload against the local server's own
+// handler stack (trace middleware included, so the hop appears under
+// the same trace ID in /debug/traces).
+func (c *Coordinator) localDo(ctx context.Context, path string, payload []byte, tenant, traceID string) (int, []byte) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, path, bytes.NewReader(payload))
+	if err != nil {
+		return http.StatusInternalServerError, []byte(`{"error":"local fallback request failed"}`)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if tenant != "" {
+		req.Header.Set("X-Tenant", tenant)
+	}
+	if traceID != "" {
+		req.Header.Set("X-Trace-ID", traceID)
+	}
+	w := &memWriter{}
+	c.local.ServeHTTP(w, req)
+	code := w.code
+	if code == 0 {
+		code = http.StatusOK
+	}
+	return code, w.buf.Bytes()
+}
+
+// Handler returns the coordinator's HTTP API: the three submission
+// endpoints are routed across the ring, GET /cluster reports ring and
+// peer state, and everything else (metrics, health, debug, catalogue)
+// is served by the local node, whose Observer the coordinator shares.
+func (c *Coordinator) Handler() http.Handler {
+	routed := http.NewServeMux()
+	routed.HandleFunc("POST /v1/jobs", c.handleJob)
+	routed.HandleFunc("POST /v1/batch", c.handleBatch)
+	routed.HandleFunc("POST /v1/submit", c.handleSubmit)
+	routed.HandleFunc("GET /cluster", c.handleCluster)
+	traced := c.traceMiddleware(routed)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case r.Method == http.MethodPost && (r.URL.Path == "/v1/jobs" ||
+			r.URL.Path == "/v1/batch" || r.URL.Path == "/v1/submit"):
+			traced.ServeHTTP(w, r)
+		case r.Method == http.MethodGet && r.URL.Path == "/cluster":
+			traced.ServeHTTP(w, r)
+		default:
+			c.local.ServeHTTP(w, r)
+		}
+	})
+}
+
+// traceMiddleware mirrors the single node's: adopt or mint X-Trace-ID,
+// echo it, and retain the finished trace — in the shared store, so
+// /debug/traces/{id} shows the coordinator's routing spans and
+// per-peer hop spans on the same timeline clients correlate peer-side.
+func (c *Coordinator) traceMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		tr := obs.NewTrace(obs.SanitizeID(r.Header.Get("X-Trace-ID")))
+		w.Header().Set("X-Trace-ID", tr.ID)
+		ctx := obs.WithTrace(r.Context(), tr)
+		end := tr.StartSpan("coordinator " + r.Method + " " + r.URL.Path)
+		next.ServeHTTP(w, r.WithContext(ctx))
+		end()
+		c.obs.Traces.Add(tr)
+	})
+}
+
+// relay writes a routed response through unchanged, reconstructing the
+// Retry-After header for 429s from the structured body.
+func relay(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	if status == http.StatusTooManyRequests {
+		ra := 1
+		var m map[string]any
+		if json.Unmarshal(body, &m) == nil {
+			if v, ok := m["retry_after_sec"].(float64); ok && v >= 1 {
+				ra = int(v)
+			}
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(ra))
+	}
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
+func writeJSONError(w http.ResponseWriter, status int, msg string) {
+	writeJSONBody(w, status, map[string]any{"error": msg})
+}
+
+func writeJSONBody(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func (c *Coordinator) handleJob(w http.ResponseWriter, r *http.Request) {
+	payload, err := io.ReadAll(io.LimitReader(r.Body, maxPeerBody))
+	if err != nil {
+		writeJSONError(w, http.StatusBadRequest, "bad job spec: "+err.Error())
+		return
+	}
+	var spec server.JobSpec
+	if err := json.Unmarshal(payload, &spec); err != nil {
+		writeJSONError(w, http.StatusBadRequest, "bad job spec: "+err.Error())
+		return
+	}
+	ctx := r.Context()
+	tenant := r.Header.Get("X-Tenant")
+	traceID := obs.TraceIDFrom(ctx)
+	h, ok := c.jobHash(spec)
+	if !ok {
+		// Invalid spec: the local server produces the canonical
+		// structured 4xx without a network hop.
+		status, body := c.localDo(ctx, "/v1/jobs", payload, tenant, traceID)
+		relay(w, status, body)
+		return
+	}
+	status, body := c.routeSpec(ctx, obs.TraceFrom(ctx), "/v1/jobs", payload, h, "", tenant, traceID)
+	relay(w, status, body)
+}
+
+func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	payload, err := io.ReadAll(io.LimitReader(r.Body, maxPeerBody))
+	if err != nil {
+		writeJSONError(w, http.StatusBadRequest, "bad submission: "+err.Error())
+		return
+	}
+	ctx := r.Context()
+	status, body := c.routeSpec(ctx, obs.TraceFrom(ctx), "/v1/submit", payload,
+		submitHash(payload), "", r.Header.Get("X-Tenant"), obs.TraceIDFrom(ctx))
+	relay(w, status, body)
+}
+
+// peerStatus is one row of the GET /cluster report.
+type peerStatus struct {
+	Name      string  `json:"name"`
+	URL       string  `json:"url"`
+	State     string  `json:"breaker_state"`
+	InFlight  int64   `json:"in_flight"`
+	RingShare float64 `json:"ring_share"`
+}
+
+func (c *Coordinator) handleCluster(w http.ResponseWriter, r *http.Request) {
+	peers := make([]peerStatus, 0, len(c.peers))
+	for _, name := range c.ring.Nodes() {
+		p := c.peers[name]
+		peers = append(peers, peerStatus{
+			Name:      p.name,
+			URL:       p.url,
+			State:     p.br.State().String(),
+			InFlight:  p.inflight.Load(),
+			RingShare: c.ring.OwnedFraction(name),
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"self":        c.opts.Self,
+		"vnodes":      c.opts.VNodes,
+		"load_factor": c.opts.LoadFactor,
+		"peers":       peers,
+	})
+}

@@ -1,0 +1,93 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync/atomic"
+
+	"subwarpsim/internal/obs"
+	"subwarpsim/internal/simcache"
+)
+
+// maxPeerBody bounds how much of a peer response the coordinator will
+// buffer (a full batch response fits comfortably; a misbehaving peer
+// cannot exhaust coordinator memory).
+const maxPeerBody = 16 << 20
+
+// Request outcomes recorded per peer in
+// sisimd_peer_requests_total{peer,outcome}. The set is closed so every
+// series is pre-registered and visible from the first scrape.
+const (
+	outcomeOK        = "ok"        // usable response relayed (200 or a deterministic 4xx/500)
+	outcomeRerouted  = "rerouted"  // transport error or 502/503/504; breaker fed, next peer tried
+	outcomeThrottled = "throttled" // peer said 429; alive but saturated, next peer tried
+)
+
+var outcomes = []string{outcomeOK, outcomeRerouted, outcomeThrottled}
+
+// peer is one worker daemon as the coordinator sees it: base URL,
+// in-flight count (the bounded-load signal), its circuit breaker (the
+// PR 4 degradation ladder, per peer), and its pre-registered outcome
+// counters.
+type peer struct {
+	name string // label value and ring node name (host:port)
+	url  string // base URL, no trailing slash
+
+	br       *simcache.Breaker
+	inflight atomic.Int64
+	reqs     map[string]*obs.Counter
+}
+
+// peerName derives the ring/label name from a peer URL: the host:port
+// when it parses, the raw string otherwise.
+func peerName(raw string) string {
+	if u, err := url.Parse(raw); err == nil && u.Host != "" {
+		return u.Host
+	}
+	return strings.TrimPrefix(strings.TrimPrefix(raw, "https://"), "http://")
+}
+
+// do POSTs one JSON payload to the peer, forwarding the tenant and
+// trace identities, and returns the status and (bounded) body. A
+// non-nil error means the peer never produced a usable response
+// (transport failure) — the caller feeds the breaker and reroutes.
+func (p *peer) do(ctx context.Context, client *http.Client, path string,
+	payload []byte, tenant, traceID string) (int, []byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, p.url+path, bytes.NewReader(payload))
+	if err != nil {
+		return 0, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if tenant != "" {
+		req.Header.Set("X-Tenant", tenant)
+	}
+	if traceID != "" {
+		req.Header.Set("X-Trace-ID", traceID)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxPeerBody))
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, body, nil
+}
+
+// retryableStatus reports peer responses that mean "this node cannot
+// serve right now" rather than "this job is bad": they feed the
+// breaker and reroute. Deterministic failures (4xx, plain 500) would
+// fail identically on every node, so they are relayed, not retried.
+func retryableStatus(code int) bool {
+	switch code {
+	case http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}

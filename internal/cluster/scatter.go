@@ -1,0 +1,250 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"subwarpsim/internal/obs"
+	"subwarpsim/internal/server"
+	"subwarpsim/internal/simcache"
+)
+
+// batchRequest / batchResponse mirror the single node's /v1/batch wire
+// format exactly — clients cannot tell which topology answered.
+type batchRequest struct {
+	Jobs []server.JobSpec `json:"jobs"`
+}
+
+type batchResponse struct {
+	Results []server.JobResult `json:"results"`
+}
+
+func (c *Coordinator) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSONError(w, http.StatusBadRequest, "bad batch: "+err.Error())
+		return
+	}
+	if len(req.Jobs) == 0 {
+		writeJSONError(w, http.StatusBadRequest, "batch has no jobs")
+		return
+	}
+	if len(req.Jobs) > c.opts.MaxBatch {
+		writeJSONError(w, http.StatusBadRequest,
+			"batch of "+strconv.Itoa(len(req.Jobs))+" exceeds limit "+strconv.Itoa(c.opts.MaxBatch))
+		return
+	}
+	ctx := r.Context()
+	results := c.scatter(ctx, obs.TraceFrom(ctx), req.Jobs,
+		r.Header.Get("X-Tenant"), obs.TraceIDFrom(ctx))
+	writeJSONBody(w, http.StatusOK, batchResponse{Results: results})
+}
+
+// scatter fans a batch across the ring and gathers results back in
+// request order.
+//
+// Sharding: each job is queued to its affinity owner (the first
+// live node in its ring preference). Each owner gets Window runner
+// slots — the per-peer in-flight window — so a large sweep cannot
+// flood one worker's admission queue with hundreds of simultaneous
+// requests.
+//
+// Work stealing: a runner whose own queue runs dry takes shards from
+// the tail of the longest remaining queue and executes them on ITS
+// peer (prefer=thief). That deliberately trades cache affinity for
+// utilization — an idle worker simulating a shard beats a hot cache
+// nobody can reach — and is exactly the "queued shards migrate to
+// idle peers" behavior the lagging-peer case needs. Stolen shards
+// stay bit-identical by the determinism contract.
+//
+// Failure: each shard execution is a full routeSpec, so a peer dying
+// mid-sweep trips its breaker and the remaining shards reroute around
+// the ring; with every peer dead they run locally. The result slice
+// is indexed by original position throughout — no failure mode can
+// drop or reorder entries.
+func (c *Coordinator) scatter(ctx context.Context, tr *obs.Trace,
+	specs []server.JobSpec, tenant, traceID string) []server.JobResult {
+	n := len(specs)
+	results := make([]server.JobResult, n)
+	payloads := make([][]byte, n)
+	hashes := make([]uint64, n)
+	routable := make([]bool, n)
+	for i, spec := range specs {
+		payloads[i], _ = json.Marshal(spec)
+		hashes[i], routable[i] = c.jobHash(spec)
+	}
+	c.batches.Add(int64(n))
+
+	// Build per-owner queues. The "" queue is the local pseudo-peer:
+	// unroutable (invalid) specs, and every spec when there are no
+	// peers at all.
+	queues := make(map[string][]int)
+	for i := range specs {
+		owner := ""
+		if routable[i] {
+			for _, name := range c.ring.Preference(hashes[i]) {
+				if p := c.peers[name]; p != nil && p.br.State() != simcache.BreakerOpen {
+					owner = name
+					break
+				}
+			}
+		}
+		queues[owner] = append(queues[owner], i)
+	}
+
+	var mu sync.Mutex
+	// popOwn takes the next shard from the runner's own queue.
+	popOwn := func(owner string) (int, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		q := queues[owner]
+		if len(q) == 0 {
+			return 0, false
+		}
+		idx := q[0]
+		queues[owner] = q[1:]
+		return idx, true
+	}
+	// stealFrom takes a shard from the TAIL of the longest other
+	// routable queue (the tail is the work its owner is furthest from
+	// reaching, so stealing it delays nothing). The local "" queue is
+	// not stealable: it holds unroutable specs whose canonical errors
+	// must come from the local server.
+	stealFrom := func(thief string) (int, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		longest, max := "", 0
+		for owner, q := range queues {
+			if owner == "" || owner == thief {
+				continue
+			}
+			if len(q) > max {
+				longest, max = owner, len(q)
+			}
+		}
+		if max == 0 {
+			return 0, false
+		}
+		q := queues[longest]
+		idx := q[len(q)-1]
+		queues[longest] = q[:len(q)-1]
+		return idx, true
+	}
+
+	runOne := func(owner string, idx int) {
+		spec := specs[idx]
+		var status int
+		var body []byte
+		if routable[idx] {
+			status, body = c.routeSpec(ctx, tr, "/v1/jobs", payloads[idx],
+				hashes[idx], owner, tenant, traceID)
+		} else {
+			status, body = c.localDo(ctx, "/v1/jobs", payloads[idx], tenant, traceID)
+		}
+		results[idx] = resultFromBody(spec, status, body)
+	}
+
+	var wg sync.WaitGroup
+	runner := func(owner string) {
+		defer wg.Done()
+		for {
+			if ctx.Err() != nil {
+				return
+			}
+			if idx, ok := popOwn(owner); ok {
+				runOne(owner, idx)
+				continue
+			}
+			if owner == "" {
+				return // the local queue only drains itself
+			}
+			idx, ok := stealFrom(owner)
+			if !ok {
+				return
+			}
+			c.steals.Inc()
+			runOne(owner, idx)
+		}
+	}
+
+	// Every live peer gets Window runners — including peers that own no
+	// shards. An owner-less runner's queue is empty from the start, so
+	// it goes straight to stealing: that is how an idle peer drains a
+	// lagging peer's backlog even when the hash gave it nothing.
+	owners := make([]string, 0, len(c.peers)+1)
+	for name, p := range c.peers {
+		if p.br.State() != simcache.BreakerOpen {
+			owners = append(owners, name)
+		}
+	}
+	if len(queues[""]) > 0 || len(owners) == 0 {
+		owners = append(owners, "")
+	}
+	// Union in any queue owner the loop above missed (a breaker that
+	// opened between queue building and runner spawn): every queue must
+	// have at least its own runners or its shards would never run.
+	have := make(map[string]bool, len(owners))
+	for _, o := range owners {
+		have[o] = true
+	}
+	for owner := range queues {
+		if !have[owner] {
+			owners = append(owners, owner)
+		}
+	}
+	for _, owner := range owners {
+		for s := 0; s < c.opts.Window; s++ {
+			wg.Add(1)
+			go runner(owner)
+		}
+	}
+	wg.Wait()
+
+	// Shards abandoned by context cancellation keep zero-value results;
+	// stamp them so no entry is silently empty.
+	if ctx.Err() != nil {
+		for i := range results {
+			if results[i].Key == "" && results[i].Error == "" {
+				results[i] = server.JobResult{
+					Workload:    specs[i].WorkloadID(),
+					Error:       "batch abandoned: " + ctx.Err().Error(),
+					ErrorStatus: http.StatusRequestTimeout,
+				}
+			}
+		}
+	}
+	return results
+}
+
+// resultFromBody converts one routed response into the batch entry at
+// its index: a decoded JobResult for 200s, a structured error entry
+// (status + extra fields, exactly what the single node's batch path
+// produces) otherwise.
+func resultFromBody(spec server.JobSpec, status int, body []byte) server.JobResult {
+	if status == http.StatusOK {
+		var res server.JobResult
+		if err := json.Unmarshal(body, &res); err == nil {
+			return res
+		}
+		return server.JobResult{
+			Workload:    spec.WorkloadID(),
+			Error:       "undecodable peer response",
+			ErrorStatus: http.StatusBadGateway,
+		}
+	}
+	var m map[string]any
+	_ = json.Unmarshal(body, &m)
+	msg, _ := m["error"].(string)
+	if msg == "" {
+		msg = http.StatusText(status)
+	}
+	delete(m, "error")
+	res := server.JobResult{Workload: spec.WorkloadID(), Error: msg, ErrorStatus: status}
+	if len(m) > 0 {
+		res.ErrorExtra = m
+	}
+	return res
+}

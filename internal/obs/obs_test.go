@@ -329,3 +329,38 @@ func TestNopLoggerDiscards(t *testing.T) {
 	}
 	lg.Info("should not panic", "k", "v")
 }
+
+func TestMultiLabelSeries(t *testing.T) {
+	r := NewRegistry()
+	ok := r.CounterWith("test_peer_requests_total", "per-peer requests",
+		"peer", "w1", "outcome", "ok")
+	errs := r.CounterWith("test_peer_requests_total", "per-peer requests",
+		"peer", "w1", "outcome", "error")
+	ok.Add(3)
+	errs.Inc()
+	// Identity: same ordered label set returns the same counter.
+	if r.CounterWith("test_peer_requests_total", "per-peer requests",
+		"peer", "w1", "outcome", "ok") != ok {
+		t.Fatal("re-registration did not return the same multi-label counter")
+	}
+	r.GaugeFuncWith("test_ring_ownership", "ring share",
+		func() float64 { return 0.25 }, "peer", "w1")
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`test_peer_requests_total{peer="w1",outcome="ok"} 3`,
+		`test_peer_requests_total{peer="w1",outcome="error"} 1`,
+		`test_ring_ownership{peer="w1"} 0.25`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if err := Lint(strings.NewReader(out)); err != nil {
+		t.Fatalf("multi-label exposition fails lint: %v", err)
+	}
+}

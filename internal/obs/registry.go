@@ -170,12 +170,11 @@ func (h *Histogram) snapshot() stats.Histogram {
 	return h.h
 }
 
-// sample is one exposed time series: a label pair (possibly empty)
-// plus its value source.
+// sample is one exposed time series: an ordered label-pair list
+// (possibly empty) plus its value source.
 type sample struct {
-	labelKey   string // "" for unlabeled
-	labelName  string
-	labelValue string
+	labelKey string   // "" for unlabeled; joined pairs otherwise
+	labels   []string // name, value, name, value, ...
 
 	counter *Counter
 	gauge   *Gauge
@@ -194,8 +193,8 @@ type family struct {
 	byLabel map[string]*sample
 }
 
-func (f *family) sampleFor(labelName, labelValue string, mk func() *sample) *sample {
-	key := labelName + "\x00" + labelValue
+func (f *family) sampleFor(labels []string, mk func() *sample) *sample {
+	key := strings.Join(labels, "\x00")
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if s, ok := f.byLabel[key]; ok {
@@ -203,10 +202,19 @@ func (f *family) sampleFor(labelName, labelValue string, mk func() *sample) *sam
 	}
 	s := mk()
 	s.labelKey = key
-	s.labelName, s.labelValue = labelName, labelValue
+	s.labels = append([]string(nil), labels...)
 	f.byLabel[key] = s
 	f.samples = append(f.samples, s)
 	return s
+}
+
+// pairsOf normalizes a single (possibly empty) label pair into the
+// ordered-pairs form sampleFor keys on.
+func pairsOf(labelName, labelValue string) []string {
+	if labelName == "" {
+		return nil
+	}
+	return []string{labelName, labelValue}
 }
 
 // Registry is an ordered collection of metric families. All methods
@@ -249,12 +257,26 @@ func (r *Registry) Counter(name, help string) *Counter {
 // LabeledCounter registers (or finds) one labeled counter time series,
 // e.g. LabeledCounter("jobs_total", ..., "workload", "app/BFV1").
 func (r *Registry) LabeledCounter(name, help, labelName, labelValue string) *Counter {
+	return r.CounterWith(name, help, pairsOf(labelName, labelValue)...)
+}
+
+// CounterWith registers (or finds) one counter time series carrying an
+// ordered list of label pairs given as name, value, name, value, ...
+// (e.g. CounterWith("peer_requests_total", ..., "peer", "w1",
+// "outcome", "ok")). An odd trailing name is ignored.
+func (r *Registry) CounterWith(name, help string, labelPairs ...string) *Counter {
 	if r == nil {
 		return nil
 	}
 	f := r.familyFor(name, help, kindCounter)
-	s := f.sampleFor(labelName, labelValue, func() *sample { return &sample{counter: &Counter{}} })
+	s := f.sampleFor(evenPairs(labelPairs), func() *sample { return &sample{counter: &Counter{}} })
 	return s.counter
+}
+
+// evenPairs drops an odd trailing element so labels always come in
+// complete (name, value) pairs.
+func evenPairs(pairs []string) []string {
+	return pairs[:len(pairs)&^1]
 }
 
 // Gauge registers (or finds) an unlabeled settable gauge.
@@ -263,7 +285,7 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 		return nil
 	}
 	f := r.familyFor(name, help, kindGauge)
-	s := f.sampleFor("", "", func() *sample { return &sample{gauge: &Gauge{}} })
+	s := f.sampleFor(nil, func() *sample { return &sample{gauge: &Gauge{}} })
 	return s.gauge
 }
 
@@ -275,11 +297,17 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 
 // LabeledGaugeFunc registers one labeled callback-gauge time series.
 func (r *Registry) LabeledGaugeFunc(name, help, labelName, labelValue string, fn func() float64) {
+	r.GaugeFuncWith(name, help, fn, pairsOf(labelName, labelValue)...)
+}
+
+// GaugeFuncWith registers one callback-gauge time series carrying an
+// ordered list of label pairs (name, value, name, value, ...).
+func (r *Registry) GaugeFuncWith(name, help string, fn func() float64, labelPairs ...string) {
 	if r == nil {
 		return
 	}
 	f := r.familyFor(name, help, kindGauge)
-	f.sampleFor(labelName, labelValue, func() *sample { return &sample{fn: fn} })
+	f.sampleFor(evenPairs(labelPairs), func() *sample { return &sample{fn: fn} })
 }
 
 // CounterFunc registers a counter whose value is read at exposition
@@ -294,7 +322,7 @@ func (r *Registry) LabeledCounterFunc(name, help, labelName, labelValue string, 
 		return
 	}
 	f := r.familyFor(name, help, kindCounter)
-	f.sampleFor(labelName, labelValue, func() *sample { return &sample{fn: fn} })
+	f.sampleFor(pairsOf(labelName, labelValue), func() *sample { return &sample{fn: fn} })
 }
 
 // Histogram registers (or finds) an unlabeled histogram. scale
@@ -309,7 +337,7 @@ func (r *Registry) LabeledHistogram(name, help, labelName, labelValue string, sc
 		return nil
 	}
 	f := r.familyFor(name, help, kindHistogram)
-	s := f.sampleFor(labelName, labelValue, func() *sample {
+	s := f.sampleFor(pairsOf(labelName, labelValue), func() *sample {
 		return &sample{hist: &Histogram{scale: scale}}
 	})
 	return s.hist
@@ -350,13 +378,14 @@ func (s *sample) value() float64 {
 	}
 }
 
-// labelSuffix renders `{name="value"}`, or "" for unlabeled samples.
-// extra appends further pairs (the histogram writer's le label).
-// Go's %q escaping covers the exposition format's \\, \" and \n.
+// labelSuffix renders `{name="value",...}`, or "" for unlabeled
+// samples. extra appends further pairs (the histogram writer's le
+// label). Go's %q escaping covers the exposition format's \\, \" and
+// \n.
 func (s *sample) labelSuffix(extra ...string) string {
 	var pairs []string
-	if s.labelName != "" {
-		pairs = append(pairs, fmt.Sprintf("%s=%q", s.labelName, s.labelValue))
+	for i := 0; i+1 < len(s.labels); i += 2 {
+		pairs = append(pairs, fmt.Sprintf("%s=%q", s.labels[i], s.labels[i+1]))
 	}
 	for i := 0; i+1 < len(extra); i += 2 {
 		pairs = append(pairs, fmt.Sprintf("%s=%q", extra[i], extra[i+1]))

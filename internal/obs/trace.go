@@ -113,6 +113,25 @@ func (t *Trace) WritePerfetto(w io.Writer) error {
 	return trace.WriteChromeSlices(w, "request "+t.ID, slices)
 }
 
+// SanitizeID bounds externally supplied trace IDs (the X-Trace-ID
+// header): printable ASCII, no whitespace or quotes (they land in logs
+// and label values), capped length. Anything unusable yields "" so the
+// caller mints a fresh ID. Every hop that adopts client trace IDs —
+// the single node and the cluster coordinator — must apply the same
+// rule, or an ID accepted on one hop would be rejected on the next and
+// the cross-node timeline would split.
+func SanitizeID(id string) string {
+	if len(id) == 0 || len(id) > 64 {
+		return ""
+	}
+	for _, c := range id {
+		if c <= ' ' || c > '~' || c == '"' || c == '\\' {
+			return ""
+		}
+	}
+	return id
+}
+
 // ctxKey carries a *Trace through a context.
 type ctxKey struct{}
 

@@ -266,20 +266,10 @@ func (s *Server) traceMiddleware(next http.Handler) http.Handler {
 	})
 }
 
-// sanitizeTraceID bounds client-supplied trace IDs: printable, no
-// whitespace or quotes (they land in logs and label values), capped
-// length. Anything unusable yields "" (a fresh ID gets minted).
-func sanitizeTraceID(id string) string {
-	if len(id) == 0 || len(id) > 64 {
-		return ""
-	}
-	for _, c := range id {
-		if c <= ' ' || c > '~' || c == '"' || c == '\\' {
-			return ""
-		}
-	}
-	return id
-}
+// sanitizeTraceID bounds client-supplied trace IDs. The rule lives in
+// obs.SanitizeID so the cluster coordinator applies the identical one
+// (split rules would split cross-node timelines).
+func sanitizeTraceID(id string) string { return obs.SanitizeID(id) }
 
 // wantsPrometheus reports whether the Accept header prefers the text
 // exposition over JSON.

@@ -462,10 +462,35 @@ type JobResult struct {
 	Counters stats.Counters `json:"counters"`
 	Derived  stats.Derived  `json:"derived"`
 	// Error is set instead of the result fields for failed batch items.
-	Error string `json:"error,omitempty"`
+	// ErrorStatus carries the HTTP status the same failure would have
+	// produced as a single /v1/jobs request, and ErrorExtra the same
+	// structured body fields (retry_after_sec, tenant, queue depths,
+	// quarantined, ...), so batch clients can classify per-entry
+	// failures — retryable 429/503 vs deterministic 4xx — exactly like
+	// single-job clients instead of string-matching Error.
+	Error       string         `json:"error,omitempty"`
+	ErrorStatus int            `json:"error_status,omitempty"`
+	ErrorExtra  map[string]any `json:"error_extra,omitempty"`
 	// TraceID echoes the request's trace (the X-Trace-ID header) so
 	// clients can correlate results with /debug/events and logs.
 	TraceID string `json:"trace_id,omitempty"`
+}
+
+// Failed reports whether the result is a per-entry error.
+func (r JobResult) Failed() bool { return r.Error != "" }
+
+// errorResult builds the per-entry error form of a JobResult,
+// preserving the apiError's status and structured fields.
+func errorResult(workloadID string, err error) JobResult {
+	res := JobResult{Workload: workloadID, Error: err.Error(), ErrorStatus: errStatus(err)}
+	var ae *apiError
+	if errors.As(err, &ae) && len(ae.extra) > 0 {
+		res.ErrorExtra = make(map[string]any, len(ae.extra))
+		for k, v := range ae.extra {
+			res.ErrorExtra[k] = v
+		}
+	}
+	return res
 }
 
 func resultFrom(key simcache.Key, workloadID string, e simcache.Entry, cached, coalesced bool) JobResult {
@@ -586,12 +611,7 @@ func (s *Server) execute(ctx context.Context, tr *obs.Trace, admitStart time.Tim
 				status:     http.StatusTooManyRequests,
 				msg:        msg,
 				retryAfter: ra,
-				extra: map[string]any{
-					"tenant":          tenant,
-					"queue_depth":     s.queue.Len(),
-					"queue_cap":       s.queue.Cap(),
-					"retry_after_sec": ra,
-				},
+				extra:      s.backpressureExtra(tenant, ra),
 			}
 		}
 	}
@@ -657,6 +677,36 @@ func (s *Server) execute(ctx context.Context, tr *obs.Trace, admitStart time.Tim
 	res := resultFrom(key, workloadID, fl.entry, false, joined)
 	res.TraceID = obs.TraceIDFrom(ctx)
 	return res, nil
+}
+
+// SetTenantWeights swaps the weighted-fair dequeue shares at runtime
+// (operators rebalance tenants without a restart; the cluster gate
+// exercises a mid-stream change). Takes effect from the next dequeue.
+func (s *Server) SetTenantWeights(weights map[string]int) {
+	s.queue.SetWeights(weights)
+}
+
+// backpressureExtra is the structured body of every queue-pressure 429
+// this server emits — shared queue depth/cap, the rejected tenant's own
+// queued depth, and the recent queue-wait p95 — so clients can back off
+// proportionally. The cluster coordinator reuses it verbatim when it
+// aggregates per-peer 429s, so clients back off identically against
+// either topology.
+func (s *Server) backpressureExtra(tenant string, retryAfterSec int) map[string]any {
+	return map[string]any{
+		"tenant":             tenant,
+		"queue_depth":        s.queue.Len(),
+		"queue_cap":          s.queue.Cap(),
+		"tenant_queue_depth": s.queue.depthOf(tenant),
+		"queue_wait_p95_ms":  float64(s.obs.StageHistogram("queue").Quantile(0.95)) / 1e3,
+		"retry_after_sec":    retryAfterSec,
+	}
+}
+
+// BackpressureBody exposes backpressureExtra for the cluster
+// coordinator's local-fallback and aggregate-429 paths.
+func (s *Server) BackpressureBody(tenant string) map[string]any {
+	return s.backpressureExtra(s.tenantNames.canon(sanitizeTenant(tenant)), s.retryAfterSec())
 }
 
 // retryAfterSec estimates when queue capacity should free up: the p95
@@ -970,15 +1020,27 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	// Every item goes through Submit concurrently: identical specs
 	// coalesce onto one simulation, distinct ones use the worker pool.
+	// Results land at the entry's own index, and each goroutine carries
+	// its own recover guard, so one failed — or panicking — sub-job can
+	// neither drop nor reorder sibling results: Results[i] always
+	// answers Jobs[i].
 	resp := batchResponse{Results: make([]JobResult, len(req.Jobs))}
 	var wg sync.WaitGroup
 	for i, spec := range req.Jobs {
 		wg.Add(1)
 		go func(i int, spec JobSpec) {
 			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					resp.Results[i] = errorResult(spec.WorkloadID(), &apiError{
+						status: http.StatusInternalServerError,
+						msg:    fmt.Sprintf("batch entry panicked: %v", p),
+					})
+				}
+			}()
 			res, err := s.Submit(r.Context(), spec)
 			if err != nil {
-				res = JobResult{Workload: spec.WorkloadID(), Error: err.Error()}
+				res = errorResult(spec.WorkloadID(), err)
 			}
 			resp.Results[i] = res
 		}(i, spec)

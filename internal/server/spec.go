@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"subwarpsim/internal/config"
+	"subwarpsim/internal/simcache"
 	"subwarpsim/internal/sm"
 	"subwarpsim/internal/workload"
 )
@@ -213,6 +214,24 @@ func (j JobSpec) BuildKernel() (*sm.Kernel, error) {
 	default:
 		return workload.Microbench(workload.DefaultMicrobench(j.Microbench))
 	}
+}
+
+// CacheKey computes the spec's content address — the same
+// simcache.Key Submit uses — without running anything. The cluster
+// coordinator hashes it onto the consistent-hash ring so that a spec
+// routes to the node whose memory LRU already holds its result.
+// Building the kernel makes this costlier than a pure hash; routing
+// layers should memoize per spec (JobSpec is comparable).
+func (j JobSpec) CacheKey() (simcache.Key, error) {
+	cfg, err := j.Config()
+	if err != nil {
+		return simcache.Key{}, err
+	}
+	kernel, err := j.BuildKernel()
+	if err != nil {
+		return simcache.Key{}, err
+	}
+	return simcache.KeyOf(cfg, kernel, j.WorkloadID()), nil
 }
 
 // WorkloadID is the workload half of the cache key: a stable name for

@@ -30,6 +30,16 @@ func withTenant(ctx context.Context, tenant string) context.Context {
 	return context.WithValue(ctx, tenantCtxKey{}, tenant)
 }
 
+// ContextWithTenant sanitizes and canonicalizes a client-supplied
+// tenant header value (the X-Tenant header) and stores it in the
+// context, exactly as the HTTP middleware does. The cluster
+// coordinator uses it so a tenant forwarded over a coordinator→peer
+// hop lands in the same rate-limit bucket, queue quota, and fair-share
+// lane it would have hit arriving at the worker directly.
+func (s *Server) ContextWithTenant(ctx context.Context, header string) context.Context {
+	return withTenant(ctx, s.tenantNames.canon(sanitizeTenant(header)))
+}
+
 // tenantFrom returns the canonical tenant name, DefaultTenant when
 // the context has none (direct Submit calls from tests or embedders).
 func tenantFrom(ctx context.Context) string {

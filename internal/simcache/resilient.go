@@ -6,34 +6,6 @@ import (
 	"time"
 )
 
-// BreakerState is the disk circuit breaker's state.
-type BreakerState int32
-
-const (
-	// BreakerClosed: the disk backend is healthy; every operation goes
-	// through (with retries on transient errors).
-	BreakerClosed BreakerState = iota
-	// BreakerOpen: consecutive failures exceeded the threshold; disk
-	// operations are skipped entirely until the cooldown passes.
-	BreakerOpen
-	// BreakerHalfOpen: the cooldown passed; exactly one probe
-	// operation is allowed through to test recovery.
-	BreakerHalfOpen
-)
-
-func (s BreakerState) String() string {
-	switch s {
-	case BreakerClosed:
-		return "closed"
-	case BreakerOpen:
-		return "open"
-	case BreakerHalfOpen:
-		return "half-open"
-	default:
-		return "unknown"
-	}
-}
-
 // ResilientOptions tunes NewResilient. The zero value gives sane
 // serving defaults.
 type ResilientOptions struct {
@@ -123,6 +95,7 @@ type Resilient struct {
 	disk *Disk
 	mem  Cache
 	o    ResilientOptions
+	br   *Breaker // the degradation ladder (breaker.go)
 
 	// OnStateChange, when set, is invoked (outside the layer's lock)
 	// after every breaker transition, e.g. to feed an operational event
@@ -130,60 +103,44 @@ type Resilient struct {
 	// for concurrent use.
 	OnStateChange func(from, to BreakerState)
 
-	mu       sync.Mutex
-	state    BreakerState
-	fails    int       // consecutive backend-op failures while closed
-	openedAt time.Time // when the breaker last opened
-	probing  bool      // a half-open probe is in flight
-	jitterN  uint64    // deterministic jitter draw counter
+	mu      sync.Mutex
+	jitterN uint64 // deterministic jitter draw counter
 
-	retries, diskErrors, trips, recoveries int64
-	hits, misses                           int64
+	retries, diskErrors int64
+	hits, misses        int64
 }
 
 // NewResilient wraps the disk backend. A nil disk yields a memory-only
 // cache that reports itself permanently healthy.
 func NewResilient(disk *Disk, opts ResilientOptions) *Resilient {
 	opts = opts.withDefaults()
-	return &Resilient{
+	r := &Resilient{
 		disk: disk,
 		mem:  NewMemory(opts.MemoryEntries),
 		o:    opts,
 	}
+	r.br = &Breaker{
+		TripAfter: opts.TripAfter,
+		Cooldown:  opts.Cooldown,
+		Clock:     opts.Clock,
+		// Indirect so callers may set r.OnStateChange after construction
+		// (the serving layer wires its hooks post-New).
+		OnStateChange: func(from, to BreakerState) {
+			if cb := r.OnStateChange; cb != nil {
+				cb(from, to)
+			}
+		},
+	}
+	return r
 }
 
 // Disk exposes the wrapped disk backend (nil for memory-only), so the
 // serving layer can attach its corrupt-eviction hook.
 func (r *Resilient) Disk() *Disk { return r.disk }
 
-// transition moves the breaker to a new state under the lock and
-// returns the notifier to run after unlocking (nil when no observer).
-func (r *Resilient) transition(to BreakerState) func() {
-	from := r.state
-	r.state = to
-	if r.OnStateChange == nil || from == to {
-		return nil
-	}
-	cb := r.OnStateChange
-	return func() { cb(from, to) }
-}
-
 // State returns the breaker's current state (after applying any due
 // open -> half-open transition).
-func (r *Resilient) State() BreakerState {
-	r.mu.Lock()
-	var notify func()
-	if r.state == BreakerOpen && !r.o.Clock().Before(r.openedAt.Add(r.o.Cooldown)) {
-		notify = r.transition(BreakerHalfOpen)
-		r.probing = false
-	}
-	s := r.state
-	r.mu.Unlock()
-	if notify != nil {
-		notify()
-	}
-	return s
-}
+func (r *Resilient) State() BreakerState { return r.br.State() }
 
 // Degraded reports that the disk backend is tripped (open or probing
 // half-open): the cache is serving from memory only.
@@ -194,62 +151,18 @@ func (r *Resilient) allow() bool {
 	if r.disk == nil {
 		return false
 	}
-	switch r.State() {
-	case BreakerClosed:
-		return true
-	case BreakerHalfOpen:
-		r.mu.Lock()
-		defer r.mu.Unlock()
-		if r.probing {
-			return false
-		}
-		r.probing = true
-		return true
-	default:
-		return false
-	}
+	return r.br.Allow()
 }
 
 // succeeded records a successful disk operation.
-func (r *Resilient) succeeded() {
-	r.mu.Lock()
-	var notify func()
-	r.fails = 0
-	if r.state == BreakerHalfOpen {
-		notify = r.transition(BreakerClosed)
-		r.probing = false
-		r.recoveries++
-	}
-	r.mu.Unlock()
-	if notify != nil {
-		notify()
-	}
-}
+func (r *Resilient) succeeded() { r.br.Succeeded() }
 
 // failed records a disk operation that exhausted its retries.
 func (r *Resilient) failed() {
 	r.mu.Lock()
-	var notify func()
 	r.diskErrors++
-	switch r.state {
-	case BreakerHalfOpen:
-		// The probe failed: back to open, restart the cooldown.
-		notify = r.transition(BreakerOpen)
-		r.openedAt = r.o.Clock()
-		r.probing = false
-		r.trips++
-	case BreakerClosed:
-		r.fails++
-		if r.fails >= r.o.TripAfter {
-			notify = r.transition(BreakerOpen)
-			r.openedAt = r.o.Clock()
-			r.trips++
-		}
-	}
 	r.mu.Unlock()
-	if notify != nil {
-		notify()
-	}
+	r.br.Failed()
 }
 
 // jitter returns the deterministic "random" fraction in [0,1) for the
@@ -363,15 +276,14 @@ func (r *Resilient) Stats() Stats {
 		s.Corrupt = r.disk.Stats().Corrupt
 	}
 	s.Evictions = r.mem.Stats().Evictions
-	degraded := r.Degraded() // takes r.mu; compute before locking
+	degraded := r.Degraded() // takes the breaker lock; compute before locking
+	s.BreakerTrips, s.BreakerRecoveries = r.br.Counts()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	s.Hits = r.hits
 	s.Misses = r.misses
 	s.Retries = r.retries
 	s.DiskErrors = r.diskErrors
-	s.BreakerTrips = r.trips
-	s.BreakerRecoveries = r.recoveries
 	s.Degraded = degraded
 	return s
 }

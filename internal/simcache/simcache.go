@@ -12,6 +12,7 @@ package simcache
 import (
 	"container/list"
 	"crypto/sha256"
+	"encoding/binary"
 	"encoding/hex"
 	"fmt"
 	"io"
@@ -33,6 +34,14 @@ type Key [sha256.Size]byte
 
 // String returns the key as lowercase hex (the disk cache's file name).
 func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// RouteHash projects the key onto a 64-bit ring position (its first 8
+// bytes, big-endian). SHA-256 output is uniformly distributed, so a
+// fixed-window projection is as good a consistent-hashing input as
+// rehashing, and the mapping is stable across processes — the property
+// cluster routing needs so every coordinator agrees on a key's home
+// node.
+func (k Key) RouteHash() uint64 { return binary.BigEndian.Uint64(k[:8]) }
 
 // ParseKey decodes a hex key string.
 func ParseKey(s string) (Key, error) {

@@ -25,6 +25,12 @@ count="${BENCHCOUNT:-1}"
 # regressions trackers.
 pat='BenchmarkGPURunSequential|BenchmarkGPURunCompiled|BenchmarkGPURunInterpreted|BenchmarkGPURunGEMM|BenchmarkGPURunBFS|BenchmarkGPURunTexture|BenchmarkSimulationRate'
 smpat='BenchmarkBlockStep|BenchmarkExecuteLoad'
+# The cluster sweep pair is the PR 10 acceptance number: the same
+# 24-key matrix sweep through a coordinator with 1 worker vs 3, where
+# 3 workers' aggregate cache capacity must deliver >= 2x
+# sim-cycles/wall-s. RepeatedKey tracks the hot repeated-key latency
+# through the coordinator (routing + peer hop + memory-cache hit).
+clpat='BenchmarkClusterSweep1Worker|BenchmarkClusterSweep3Workers|BenchmarkClusterRepeatedKey'
 
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
@@ -33,6 +39,8 @@ echo "== bench: root suite ($pat) ==" >&2
 go test -run '^$' -bench "$pat" -benchmem -benchtime "$benchtime" -count "$count" . | tee -a "$tmp"
 echo "== bench: internal/sm ($smpat) ==" >&2
 go test -run '^$' -bench "$smpat" -benchmem -benchtime "$benchtime" -count "$count" ./internal/sm | tee -a "$tmp"
+echo "== bench: internal/cluster ($clpat) ==" >&2
+go test -run '^$' -bench "$clpat" -benchmem -benchtime "$benchtime" -count "$count" ./internal/cluster | tee -a "$tmp"
 
 go run ./tools/benchjson -label "$label" -out BENCH_sim.json \
     -seed "deterministic: block rng = sm*1000+block+1" < "$tmp"

@@ -107,6 +107,20 @@ for seed in 1 7; do
 done
 SISIM_CHAOS_SEED=1 go test -race -count=1 ./internal/faults
 
+echo "== cluster gate =="
+# The cache-affine cluster layer, race-enabled. The in-process suite
+# proves the routing invariants: consistent-hash affinity beats the
+# single-node cache baseline on a working set larger than one node's
+# LRU, a peer killed mid-sweep reroutes with aggregate batch results
+# bit-identical to a single node's, saturated peers relay structured
+# 429 backpressure, and with every peer dead the coordinator degrades
+# to local serving. The daemon test then drives a real coordinator +
+# 2-worker topology end to end — affinity hits through the
+# coordinator, SIGKILL one worker, identical answers after — and the
+# SIGTERM teardown requires a clean drain.
+go test -race -count=1 ./internal/cluster
+go test -count=1 -run 'TestDaemonCluster' ./cmd/sisimd
+
 echo "== coverage floor =="
 # Gate total statement coverage just below the current level so test
 # debt cannot creep in silently. Raise the floor when coverage rises.
